@@ -1,0 +1,248 @@
+// Benchmarks regenerating the paper's tables and figures. Each figure
+// has a benchmark whose custom metrics report the numbers the paper
+// quotes; EXPERIMENTS.md records the paper-vs-measured comparison.
+//
+//	go test -bench=. -benchmem
+//
+// Figure 2/5/6: cycles-per-iteration of the minmax loop (metric
+// "cycles/iter"). Figure 7: compile time of each workload with and
+// without global scheduling (the benchmark time itself). Figure 8:
+// simulated run time of each workload per configuration (metric
+// "simcycles"). Wider machines and ablations likewise.
+package gsched_test
+
+import (
+	"testing"
+
+	"gsched"
+	"gsched/internal/core"
+	"gsched/internal/eval"
+	"gsched/internal/machine"
+	"gsched/internal/sim"
+	"gsched/internal/workload"
+	"gsched/internal/xform"
+)
+
+// benchMinMax reports the steady-state cycles per iteration of the
+// minmax loop at one scheduling level (Figures 2, 5 and 6).
+func benchMinMax(b *testing.B, level core.Level, updates int) {
+	var cycles [3]int64
+	var err error
+	for i := 0; i < b.N; i++ {
+		cycles, _, err = eval.MinMaxCycles(level)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cycles[updates]), "cycles/iter")
+}
+
+func BenchmarkFigure2MinMaxBase(b *testing.B)        { benchMinMax(b, core.LevelNone, 1) }
+func BenchmarkFigure5MinMaxUseful(b *testing.B)      { benchMinMax(b, core.LevelUseful, 1) }
+func BenchmarkFigure6MinMaxSpeculative(b *testing.B) { benchMinMax(b, core.LevelSpeculative, 1) }
+
+// BenchmarkFigure7CompileTime measures what Figure 7 measures: the
+// compile time of each workload under the BASE compiler and under the
+// full global scheduling pipeline. The overhead percentage is the ratio
+// of the two benchmark times.
+func BenchmarkFigure7CompileTime(b *testing.B) {
+	mach := machine.RS6K()
+	for _, w := range workload.All() {
+		w := w
+		b.Run(w.Name+"/base", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.CompileBase(w, mach); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(w.Name+"/global", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.CompileGlobal(w, mach, core.LevelSpeculative); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure8RunTime reports each workload's simulated cycles under
+// BASE, useful-only, and useful+speculative scheduling (metric
+// "simcycles"); the run-time improvement column of Figure 8 is
+// (base-level)/base.
+func BenchmarkFigure8RunTime(b *testing.B) {
+	mach := machine.RS6K()
+	for _, w := range workload.All() {
+		for _, cfg := range []struct {
+			name  string
+			level core.Level
+		}{
+			{"base", core.LevelNone},
+			{"useful", core.LevelUseful},
+			{"speculative", core.LevelSpeculative},
+		} {
+			w, cfg := w, cfg
+			b.Run(w.Name+"/"+cfg.name, func(b *testing.B) {
+				var prog *gsched.Program
+				var err error
+				if cfg.level == core.LevelNone {
+					prog, err = eval.CompileBase(w, mach)
+				} else {
+					prog, err = eval.CompileGlobal(w, mach, cfg.level)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				m, err := sim.Load(prog)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var cycles int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := m.Run(w.Entry, w.Args, w.Data,
+						sim.Options{Machine: mach, ForgivingLoads: true})
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles = res.Cycles
+				}
+				b.ReportMetric(float64(cycles), "simcycles")
+			})
+		}
+	}
+}
+
+// BenchmarkWiderMachines projects §6's closing remark: speculative
+// scheduling measured on wider machines (metric "simcycles").
+func BenchmarkWiderMachines(b *testing.B) {
+	for _, mach := range []*machine.Desc{
+		machine.RS6K(), machine.Superscalar(2, 1), machine.Superscalar(4, 2),
+	} {
+		mach := mach
+		w := workload.EQNTOTT()
+		b.Run(mach.Name, func(b *testing.B) {
+			prog, err := eval.CompileGlobal(w, mach, core.LevelSpeculative)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := sim.Load(prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var cycles int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := m.Run(w.Entry, w.Args, w.Data,
+					sim.Options{Machine: mach, ForgivingLoads: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.Cycles
+			}
+			b.ReportMetric(float64(cycles), "simcycles")
+		})
+	}
+}
+
+// BenchmarkAblation measures the design choices DESIGN.md calls out:
+// renaming off, local post-pass off, speculative loads off, and the
+// transformations alone (metric "simcycles" on eqntott).
+func BenchmarkAblation(b *testing.B) {
+	mach := machine.RS6K()
+	w := workload.EQNTOTT()
+	configs := []struct {
+		name string
+		mod  func(*core.Options)
+		xfrm bool // transformations only, no global scheduling
+	}{
+		{"full", nil, false},
+		{"norename", func(o *core.Options) { o.Rename = false }, false},
+		{"nolocal", func(o *core.Options) { o.LocalPass = false }, false},
+		{"nospecloads", func(o *core.Options) { o.SpeculateLoads = false }, false},
+		{"xformonly", nil, true},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			prog, err := w.Compile()
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := core.Defaults(mach, core.LevelSpeculative)
+			if cfg.mod != nil {
+				cfg.mod(&opts)
+			}
+			if cfg.xfrm {
+				xform.TransformOnlyProgram(prog, xform.DefaultConfig())
+				if _, err := core.ScheduleProgram(prog, core.Defaults(mach, core.LevelNone)); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				if _, err := xform.RunProgram(prog, opts, xform.DefaultConfig()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			m, err := sim.Load(prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var cycles int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := m.Run(w.Entry, w.Args, w.Data,
+					sim.Options{Machine: mach, ForgivingLoads: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.Cycles
+			}
+			b.ReportMetric(float64(cycles), "simcycles")
+		})
+	}
+}
+
+// BenchmarkSchedulerThroughput measures the scheduler itself: functions
+// scheduled per second on the largest workload (relevant to Figure 7's
+// compile-time story).
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	w := workload.LI()
+	mach := machine.RS6K()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		prog, err := w.Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := xform.RunProgram(prog, core.Defaults(mach, core.LevelSpeculative), xform.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures simulated instructions per
+// second (metric "Minstr/s").
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	w := workload.GCC()
+	prog, err := eval.CompileBase(w, machine.RS6K())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := sim.Load(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var instrs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := m.Run(w.Entry, w.Args, w.Data, sim.Options{Machine: machine.RS6K()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs = res.Instrs
+	}
+	b.StopTimer()
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(instrs)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+	}
+}

@@ -1,0 +1,170 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (and this reproduction's extensions):
+//
+//	experiments -fig all        # everything
+//	experiments -fig 256        # Figures 2/5/6 cycle counts
+//	experiments -fig 3          # Figure 3: minmax control flow graph
+//	experiments -fig 4          # Figure 4: minmax CSPDG
+//	experiments -fig 5          # the useful-only scheduled listing
+//	experiments -fig 6          # the speculative scheduled listing
+//	experiments -fig 7          # compile-time overheads
+//	experiments -fig 8          # run-time improvements
+//	experiments -fig 8r         # Figure 8 under taken-only branch delays
+//	experiments -fig wider      # wider-machine projection (§6 remark)
+//	experiments -fig ablation   # design-choice ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gsched/internal/core"
+	"gsched/internal/eval"
+	"gsched/internal/workload"
+)
+
+var (
+	fig  = flag.String("fig", "all", "which figure to regenerate (256, 3, 4, 5, 6, 7, 8, 8r, wider, ablation, all)")
+	reps = flag.Int("reps", 3, "timing repetitions for Figure 7")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(*fig); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(which string) error {
+	ws := workload.All()
+	all := which == "all"
+	header := func(s string) { fmt.Printf("\n==== %s ====\n\n", s) }
+
+	if all || which == "256" || which == "2" {
+		header("Figures 2/5/6: minmax cycles per iteration")
+		t, err := eval.Figures256()
+		if err != nil {
+			return err
+		}
+		fmt.Print(t)
+	}
+	if all || which == "3" {
+		header("Figure 3: control flow graph of the minmax loop (function block numbering)")
+		fmt.Print(eval.Figure3())
+	}
+	if all || which == "4" {
+		header("Figure 4: forward control dependences of the minmax loop")
+		s, err := eval.Figure4()
+		if err != nil {
+			return err
+		}
+		fmt.Print(s)
+	}
+	if all || which == "5" {
+		header("Figure 5: minmax loop after useful-only global scheduling")
+		s, err := eval.ScheduledListing(core.LevelUseful)
+		if err != nil {
+			return err
+		}
+		fmt.Print(s)
+	}
+	if all || which == "6" {
+		header("Figure 6: minmax loop after useful + speculative scheduling")
+		s, err := eval.ScheduledListing(core.LevelSpeculative)
+		if err != nil {
+			return err
+		}
+		fmt.Print(s)
+	}
+	if all || which == "7" {
+		header("Figure 7: compile-time overhead")
+		t, err := eval.Figure7(ws, *reps)
+		if err != nil {
+			return err
+		}
+		fmt.Print(t)
+	}
+	if all || which == "8" {
+		header("Figure 8: run-time improvement")
+		t, err := eval.Figure8(ws)
+		if err != nil {
+			return err
+		}
+		fmt.Print(t)
+	}
+	if all || which == "8r" {
+		header("Figure 8 under the taken-only branch delay model")
+		t, err := eval.Figure8Realistic(ws)
+		if err != nil {
+			return err
+		}
+		fmt.Print(t)
+	}
+	if all || which == "wider" {
+		header("Wider machines (§6 closing remark)")
+		t, err := eval.WiderMachines(ws)
+		if err != nil {
+			return err
+		}
+		fmt.Print(t)
+	}
+	if all || which == "ablation" {
+		header("Ablations")
+		t, err := eval.Ablation(ws)
+		if err != nil {
+			return err
+		}
+		fmt.Print(t)
+	}
+	if all || which == "order" {
+		header("Phase order: scheduling before vs after register allocation")
+		t, err := eval.ScheduleOrder(ws)
+		if err != nil {
+			return err
+		}
+		fmt.Print(t)
+	}
+	if all || which == "profile" {
+		header("Profile-guided speculation (§1 branch probabilities)")
+		t, err := eval.ProfileGuided(ws)
+		if err != nil {
+			return err
+		}
+		fmt.Print(t)
+	}
+	if all || which == "degree" {
+		header("n-branch speculation degrees (Definition 7 / future work)")
+		t, err := eval.SpecDegrees(ws)
+		if err != nil {
+			return err
+		}
+		fmt.Print(t)
+	}
+	if all || which == "character" {
+		header("Code character: Unix-type vs scientific (§1)")
+		t, err := eval.CodeCharacter()
+		if err != nil {
+			return err
+		}
+		fmt.Print(t)
+	}
+	if all || which == "caps" {
+		header("Region size caps (§6)")
+		t, err := eval.RegionCaps(ws)
+		if err != nil {
+			return err
+		}
+		fmt.Print(t)
+	}
+	if all || which == "counter" {
+		header("Counter register (footnote 3)")
+		t, err := eval.CounterRegister()
+		if err != nil {
+			return err
+		}
+		fmt.Print(t)
+	}
+	return nil
+}

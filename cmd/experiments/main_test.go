@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+// TestFastFigures exercises the cheap figure paths end to end (the
+// heavier ones are covered by internal/eval's tests and the benchmarks).
+func TestFastFigures(t *testing.T) {
+	for _, fig := range []string{"256", "3", "4", "5", "6", "counter"} {
+		if err := run(fig); err != nil {
+			t.Errorf("run(%q): %v", fig, err)
+		}
+	}
+}
+
+func TestUnknownFigureIsSilent(t *testing.T) {
+	// An unknown figure selects nothing; that's fine (prints nothing).
+	if err := run("zzz"); err != nil {
+		t.Errorf("run(zzz): %v", err)
+	}
+}

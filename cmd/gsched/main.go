@@ -1,0 +1,168 @@
+// Command gsched compiles a mini-C or assembly source file, schedules it
+// at the requested level, and optionally runs it on the simulated
+// machine.
+//
+// Usage:
+//
+//	gsched [flags] file.(c|s)
+//
+// Examples:
+//
+//	gsched -level speculative -print prog.c
+//	gsched -level useful -run main -args 100 prog.c
+//	gsched -machine 4x2 -pipeline -run vm prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gsched"
+	"gsched/internal/cfg"
+)
+
+var (
+	level    = flag.String("level", "speculative", "scheduling level: none, useful, speculative")
+	machineF = flag.String("machine", "rs6k", "machine model: rs6k, or NxM for N fixed and M branch units")
+	pipeline = flag.Bool("pipeline", true, "run the full §6 pipeline (unroll/rotate) instead of plain scheduling")
+	printAsm = flag.Bool("print", false, "print the scheduled program as assembly")
+	run      = flag.String("run", "", "run this function after scheduling")
+	argsF    = flag.String("args", "", "comma-separated integer arguments for -run")
+	stats    = flag.Bool("stats", false, "print scheduling statistics")
+	lang     = flag.String("lang", "", "input language: c or asm (default: by file extension)")
+	dot      = flag.String("dot", "", "emit the Graphviz CFG of this function to stdout")
+	trace    = flag.Int64("trace", 0, "with -run: print the issue trace of the first N instructions")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gsched [flags] file.(c|s)")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := realMain(flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "gsched:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(path string) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	l := *lang
+	if l == "" {
+		if strings.HasSuffix(path, ".c") {
+			l = "c"
+		} else {
+			l = "asm"
+		}
+	}
+	var prog *gsched.Program
+	switch l {
+	case "c":
+		prog, err = gsched.CompileC(string(src))
+	case "asm":
+		prog, err = gsched.ParseAsm(string(src))
+	default:
+		return fmt.Errorf("unknown language %q", l)
+	}
+	if err != nil {
+		return err
+	}
+
+	mach, err := parseMachine(*machineF)
+	if err != nil {
+		return err
+	}
+	lv, err := parseLevel(*level)
+	if err != nil {
+		return err
+	}
+	opts := gsched.Defaults(mach, lv)
+	var st gsched.PipelineStats
+	if *pipeline {
+		st, err = gsched.SchedulePipeline(prog, opts, gsched.DefaultPipeline())
+	} else {
+		st.Stats, err = gsched.Schedule(prog, opts)
+	}
+	if err != nil {
+		return err
+	}
+	if *stats {
+		fmt.Printf("regions scheduled %d, skipped %d; moves: %d useful, %d speculative; webs renamed %d; loops unrolled %d, rotated %d\n",
+			st.RegionsScheduled, st.RegionsSkipped, st.UsefulMoves, st.SpeculativeMoves,
+			st.RenamedWebs, st.LoopsUnrolled, st.LoopsRotated)
+	}
+	if *printAsm {
+		fmt.Print(gsched.PrintAsm(prog))
+	}
+	if *dot != "" {
+		f := prog.Func(*dot)
+		if f == nil {
+			return fmt.Errorf("no function %q", *dot)
+		}
+		g := cfg.Build(f)
+		li := cfg.FindLoops(g)
+		fmt.Print(g.DOT(f.Name, li))
+	}
+	if *run != "" {
+		var args []int64
+		if *argsF != "" {
+			for _, tok := range strings.Split(*argsF, ",") {
+				v, err := strconv.ParseInt(strings.TrimSpace(tok), 10, 64)
+				if err != nil {
+					return fmt.Errorf("bad argument %q", tok)
+				}
+				args = append(args, v)
+			}
+		}
+		ropts := gsched.RunOptions{Machine: mach, ForgivingLoads: lv >= gsched.LevelSpeculative}
+		if *trace > 0 {
+			ropts.Trace = os.Stdout
+			ropts.TraceLimit = *trace
+		}
+		res, err := gsched.Run(prog, *run, args, nil, ropts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s(%v) = %d\n", *run, args, res.Ret)
+		fmt.Printf("cycles %d, instructions %d\n", res.Cycles, res.Instrs)
+		if len(res.Printed) > 0 {
+			fmt.Printf("printed: %s\n", res.PrintedString())
+		}
+	}
+	return nil
+}
+
+func parseLevel(s string) (gsched.Level, error) {
+	switch s {
+	case "none":
+		return gsched.LevelNone, nil
+	case "useful":
+		return gsched.LevelUseful, nil
+	case "speculative":
+		return gsched.LevelSpeculative, nil
+	}
+	return 0, fmt.Errorf("unknown level %q", s)
+}
+
+func parseMachine(s string) (*gsched.Machine, error) {
+	if s == "rs6k" {
+		return gsched.RS6K(), nil
+	}
+	parts := strings.Split(s, "x")
+	if len(parts) == 2 {
+		nf, err1 := strconv.Atoi(parts[0])
+		nb, err2 := strconv.Atoi(parts[1])
+		if err1 == nil && err2 == nil && nf > 0 && nb > 0 {
+			return gsched.Superscalar(nf, nb), nil
+		}
+	}
+	return nil, fmt.Errorf("unknown machine %q (want rs6k or NxM)", s)
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gsched"
+)
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]gsched.Level{
+		"none":        gsched.LevelNone,
+		"useful":      gsched.LevelUseful,
+		"speculative": gsched.LevelSpeculative,
+	} {
+		got, err := parseLevel(s)
+		if err != nil || got != want {
+			t.Errorf("parseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseLevel("bogus"); err == nil {
+		t.Error("bogus level accepted")
+	}
+}
+
+func TestParseMachine(t *testing.T) {
+	m, err := parseMachine("rs6k")
+	if err != nil || m.NumUnits[0] != 1 {
+		t.Errorf("rs6k: %v, %v", m, err)
+	}
+	m, err = parseMachine("4x2")
+	if err != nil || m.NumUnits[0] != 4 {
+		t.Errorf("4x2: %v, %v", m, err)
+	}
+	for _, bad := range []string{"", "x", "0x1", "axb", "3"} {
+		if _, err := parseMachine(bad); err == nil {
+			t.Errorf("parseMachine(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRealMainCompilesAndRuns(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prog.c")
+	src := `int f(int a) { return a * 7; }`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Exercise realMain with flags set directly.
+	*level = "speculative"
+	*machineF = "rs6k"
+	*pipeline = true
+	*printAsm = false
+	*run = "f"
+	*argsF = "6"
+	*stats = false
+	*lang = ""
+	*dot = ""
+	*trace = 0
+	if err := realMain(path); err != nil {
+		t.Fatalf("realMain: %v", err)
+	}
+}
+
+func TestRealMainRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "broken.c")
+	if err := os.WriteFile(path, []byte("int f( {"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	*run = ""
+	*dot = ""
+	if err := realMain(path); err == nil {
+		t.Error("broken source accepted")
+	}
+	if err := realMain(filepath.Join(dir, "missing.c")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

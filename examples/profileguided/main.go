@@ -1,0 +1,95 @@
+// Profileguided: §1 of the paper notes that global scheduling "is
+// capable of taking advantage of the branch probabilities, whenever
+// available (e.g. computed by profiling)". This example trains an edge
+// profile on one run and recompiles with it: the scheduler stops
+// speculating into the cold arm of a biased branch.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gsched"
+)
+
+// An interpreter-style dispatch chain — the paper's motivating case for
+// branch probabilities (its LI benchmark gained most from speculation).
+// The first tests in the chain are rarely true here; with a profile the
+// scheduler gives the few speculative issue slots to the arms that
+// actually run instead of filling them in program order.
+const src = `
+int data[512];
+int acc = 0;
+
+int dispatch(int n) {
+    for (int i = 0; i < n; i++) {
+        int op = data[i];
+        if (op == 0) {
+            acc += 1;
+        } else if (op == 1) {
+            acc -= i;
+        } else if (op == 2) {
+            acc = acc ^ (op + i);
+        } else if (op == 3) {
+            acc += acc >> 3;
+        } else {
+            acc += (op & 7) * (i & 15) + (op ^ i);
+        }
+    }
+    return acc;
+}
+`
+
+func main() {
+	mach := gsched.RS6K()
+	var data []int64
+	for i := int64(0); i < 512; i++ {
+		// Opcodes 0..3 are rare; the default arm dominates.
+		if i%19 == 0 {
+			data = append(data, i%4)
+		} else {
+			data = append(data, 10+i%7)
+		}
+	}
+	input := map[string][]int64{"data": data}
+
+	compile := func(prof *gsched.Profile) *gsched.Program {
+		prog, err := gsched.CompileC(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts := gsched.Defaults(mach, gsched.LevelSpeculative)
+		opts.Profile = prof
+		opts.MinSpecProb = 0.4
+		if _, err := gsched.SchedulePipeline(prog, opts, gsched.DefaultPipeline()); err != nil {
+			log.Fatal(err)
+		}
+		return prog
+	}
+	measure := func(prog *gsched.Program, prof *gsched.Profile) int64 {
+		res, err := gsched.Run(prog, "dispatch", []int64{512}, input,
+			gsched.RunOptions{Machine: mach, ForgivingLoads: true, Profile: prof})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.Cycles
+	}
+
+	// 1. Compile blind, run once collecting the profile. Training on
+	//    the BASE build keeps instruction IDs aligned; here the
+	//    speculative build works too because IDs are stable.
+	blind := compile(nil)
+	prof := gsched.NewProfile()
+	blindCycles := measure(blind, prof)
+
+	// 2. Recompile with the profile and measure again.
+	guided := compile(prof)
+	guidedCycles := measure(guided, nil)
+
+	fmt.Printf("blind speculation:   %d cycles\n", blindCycles)
+	fmt.Printf("profile-guided:      %d cycles\n", guidedCycles)
+	fmt.Printf("improvement:         %.1f%%\n",
+		float64(blindCycles-guidedCycles)/float64(blindCycles)*100)
+	fmt.Println("\nthe profile tells the scheduler the early opcode tests rarely")
+	fmt.Println("succeed, so the speculative issue slots go to the default arm.")
+}

@@ -1,0 +1,54 @@
+// Speculation: the §5.3 example of the paper. Both sides of a diamond
+// assign the same variable; each assignment alone may move speculatively
+// into the branch block, but moving both would corrupt the joined value.
+// The live-on-exit rule (updated dynamically after each motion) permits
+// exactly one.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gsched"
+)
+
+const src = `func spec r1 r2:
+B1:
+	C cr0=r1,r2
+	BF B3,cr0,gt
+B2:
+	LI r5=5	; x = 5
+	B B4
+B3:
+	LI r5=3	; x = 3
+B4:
+	CALL print,r5
+	RET r5
+`
+
+func main() {
+	prog, err := gsched.ParseAsm(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("before scheduling:")
+	fmt.Println(gsched.PrintAsm(prog))
+
+	opts := gsched.Defaults(gsched.RS6K(), gsched.LevelSpeculative)
+	st, err := gsched.Schedule(prog, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after speculative scheduling (%d speculative moves):\n", st.SpeculativeMoves)
+	fmt.Println(gsched.PrintAsm(prog))
+
+	for _, args := range [][]int64{{9, 1}, {1, 9}} {
+		res, err := gsched.Run(prog, "spec", args, nil, gsched.RunOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("spec(%d, %d) prints %s\n", args[0], args[1], res.PrintedString())
+	}
+	fmt.Println("\nx=5 moved into B1 (harmless: B3 overwrites it on the else path);")
+	fmt.Println("x=3 was then blocked because x became live on exit from B1.")
+}

@@ -1,0 +1,3 @@
+module gsched
+
+go 1.22

@@ -1,0 +1,163 @@
+package cfg
+
+// Dominator computation using the iterative algorithm of Cooper, Harvey
+// and Kennedy ("A Simple, Fast Dominance Algorithm"). The same engine
+// serves dominators (forward graph from entry) and postdominators
+// (reversed graph from a virtual exit).
+
+// DomTree holds immediate dominators: Idom[u] is the immediate dominator
+// of u, Idom[root] == root, and Idom[u] == -1 for nodes unreachable from
+// the root.
+type DomTree struct {
+	Root int
+	Idom []int
+}
+
+// computeIdom runs the CHK algorithm over an explicit adjacency.
+// n is the node count; preds gives the predecessors of each node in the
+// direction of the analysis.
+func computeIdom(n, root int, succs, preds [][]int) *DomTree {
+	// Reverse postorder from root over succs.
+	seen := make([]bool, n)
+	var post []int
+	var dfs func(int)
+	dfs = func(u int) {
+		seen[u] = true
+		for _, v := range succs[u] {
+			if !seen[v] {
+				dfs(v)
+			}
+		}
+		post = append(post, u)
+	}
+	dfs(root)
+	rpo := make([]int, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		rpo = append(rpo, post[i])
+	}
+	num := make([]int, n) // rpo number, lower = earlier
+	for i := range num {
+		num[i] = -1
+	}
+	for i, u := range rpo {
+		num[u] = i
+	}
+
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[root] = root
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for num[a] > num[b] {
+				a = idom[a]
+			}
+			for num[b] > num[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, u := range rpo {
+			if u == root {
+				continue
+			}
+			newIdom := -1
+			for _, p := range preds[u] {
+				if num[p] < 0 || idom[p] < 0 {
+					continue // unreachable or not yet processed
+				}
+				if newIdom < 0 {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom >= 0 && idom[u] != newIdom {
+				idom[u] = newIdom
+				changed = true
+			}
+		}
+	}
+	return &DomTree{Root: root, Idom: idom}
+}
+
+// Dominators computes the dominator tree of g from the entry node.
+func Dominators(g *Graph, entry int) *DomTree {
+	return computeIdom(g.N(), entry, g.Succs, g.Preds)
+}
+
+// Dominates reports whether a dominates b (reflexively).
+func (t *DomTree) Dominates(a, b int) bool {
+	if t.Idom[b] < 0 {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		if b == t.Root {
+			return false
+		}
+		b = t.Idom[b]
+		if b < 0 {
+			return false
+		}
+	}
+}
+
+// PostDomTree is the postdominator tree of a subgraph, computed against a
+// virtual exit node (numbered G.N()).
+type PostDomTree struct {
+	tree *DomTree
+	// VirtualExit is the node number of the added exit.
+	VirtualExit int
+}
+
+// PostDominators computes postdominators of the subgraph. exits lists the
+// member nodes considered to leave the region (they get an edge to the
+// virtual exit node). Every member with no subgraph successors is treated
+// as an exit automatically.
+func PostDominators(sg *Subgraph, exits []int) *PostDomTree {
+	n := sg.G.N()
+	vx := n
+	// Build the reversed adjacency including the virtual exit.
+	succs := make([][]int, n+1)
+	preds := make([][]int, n+1)
+	isExit := make([]bool, n)
+	for _, e := range exits {
+		isExit[e] = true
+	}
+	for _, u := range sg.Nodes {
+		if len(sg.Succs[u]) == 0 {
+			isExit[u] = true
+		}
+	}
+	addEdge := func(u, v int) { // edge u->v in the original direction
+		// reversed: v -> u
+		succs[v] = append(succs[v], u)
+		preds[u] = append(preds[u], v)
+	}
+	for _, u := range sg.Nodes {
+		for _, v := range sg.Succs[u] {
+			addEdge(u, v)
+		}
+		if isExit[u] {
+			addEdge(u, vx)
+		}
+	}
+	t := computeIdom(n+1, vx, succs, preds)
+	return &PostDomTree{tree: t, VirtualExit: vx}
+}
+
+// PostDominates reports whether a postdominates b (reflexively).
+func (t *PostDomTree) PostDominates(a, b int) bool { return t.tree.Dominates(a, b) }
+
+// Ipdom returns the immediate postdominator of u (possibly the virtual
+// exit), or -1 if u was not reachable in the reversed graph.
+func (t *PostDomTree) Ipdom(u int) int { return t.tree.Idom[u] }

@@ -1,0 +1,31 @@
+package cfg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the flow graph in Graphviz syntax. Loop back edges are
+// dashed; block labels show the ir label when present.
+func (g *Graph) DOT(name string, li *LoopInfo) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  node [shape=box fontname=monospace];\n", name)
+	for i, b := range g.F.Blocks {
+		label := fmt.Sprintf("BL%d", i+1)
+		if b.Label != "" {
+			label += "\\n" + b.Label
+		}
+		fmt.Fprintf(&sb, "  n%d [label=%q];\n", i, label)
+	}
+	for u := range g.Succs {
+		for _, v := range g.Succs[u] {
+			attr := ""
+			if li != nil && li.IsBackEdge(u, v) {
+				attr = " [style=dashed label=back]"
+			}
+			fmt.Fprintf(&sb, "  n%d -> n%d%s;\n", u, v, attr)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,43 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+
+	"gsched/internal/paperex"
+)
+
+func TestDOTRendering(t *testing.T) {
+	_, f := paperex.MinMax()
+	g := Build(f)
+	li := FindLoops(g)
+	dot := g.DOT("minmax", li)
+	for _, want := range []string{
+		"digraph \"minmax\"",
+		"CL.0",         // labelled block
+		"style=dashed", // the back edge
+		"n1 -> n2",     // BL1 -> BL2
+		"}",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Exactly one dashed (back) edge in minmax.
+	if got := strings.Count(dot, "style=dashed"); got != 1 {
+		t.Errorf("dashed edges = %d, want 1", got)
+	}
+	// Every block gets a node.
+	if got := strings.Count(dot, "label="); got < len(f.Blocks) {
+		t.Errorf("nodes = %d, want at least %d", got, len(f.Blocks))
+	}
+}
+
+func TestDOTWithoutLoopInfo(t *testing.T) {
+	_, f := paperex.Speculation()
+	g := Build(f)
+	dot := g.DOT("spec", nil)
+	if !strings.Contains(dot, "digraph") || strings.Contains(dot, "dashed") {
+		t.Errorf("unexpected rendering:\n%s", dot)
+	}
+}

@@ -1,0 +1,290 @@
+// Package cfg computes control flow analyses over ir functions: the flow
+// graph itself, dominators and postdominators, back edges, reducibility,
+// and the region (loop nesting) tree that drives the region-by-region
+// global scheduling process of §5.1 of the paper.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gsched/internal/ir"
+)
+
+// Graph is the control flow graph of a function. Nodes are block indices
+// into F.Blocks; edges follow ir.Succs. The graph must be rebuilt after
+// any transformation that adds, removes, or reorders blocks or changes
+// terminators (pure instruction motion within existing blocks keeps the
+// graph valid).
+type Graph struct {
+	F     *ir.Func
+	Succs [][]int
+	Preds [][]int
+}
+
+// Build constructs the flow graph of f. Block 0 is the entry node.
+func Build(f *ir.Func) *Graph {
+	n := len(f.Blocks)
+	g := &Graph{F: f, Succs: make([][]int, n), Preds: make([][]int, n)}
+	for i, b := range f.Blocks {
+		for _, s := range ir.Succs(f, b) {
+			g.Succs[i] = append(g.Succs[i], s.Index)
+			g.Preds[s.Index] = append(g.Preds[s.Index], i)
+		}
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.Succs) }
+
+// ReversePostorder returns the nodes reachable from entry in reverse
+// postorder of a depth-first search.
+func (g *Graph) ReversePostorder(entry int) []int {
+	seen := make([]bool, g.N())
+	var post []int
+	var dfs func(int)
+	dfs = func(u int) {
+		seen[u] = true
+		for _, v := range g.Succs[u] {
+			if !seen[v] {
+				dfs(v)
+			}
+		}
+		post = append(post, u)
+	}
+	dfs(entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Reachable returns the set of nodes reachable from entry.
+func (g *Graph) Reachable(entry int) []bool {
+	seen := make([]bool, g.N())
+	stack := []int{entry}
+	seen[entry] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.Succs[u] {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen
+}
+
+// String renders the graph as "BLi -> BLj BLk" lines, matching the
+// node numbering style of Figure 3 of the paper (1-based).
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for u := range g.Succs {
+		fmt.Fprintf(&sb, "BL%d ->", u+1)
+		for _, v := range g.Succs[u] {
+			fmt.Fprintf(&sb, " BL%d", v+1)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Subgraph is a filtered view of a Graph restricted to a block set with
+// some edges removed (the forward, acyclic view of a region). Node
+// numbering is preserved from the parent graph; nodes outside the set
+// have empty adjacency.
+type Subgraph struct {
+	G     *Graph
+	In    []bool  // membership
+	Succs [][]int // filtered adjacency
+	Preds [][]int
+	Entry int
+	Nodes []int // members in parent-graph numbering, ascending
+}
+
+// Forward builds the forward (back-edge-free) subgraph over the given
+// node set. An edge u->v inside the set is dropped when back[u][v] is
+// true. Edges leaving the set are dropped (region exits are modelled by
+// the virtual exit in postdominator computations).
+func (g *Graph) Forward(nodes []int, entry int, isBack func(u, v int) bool) *Subgraph {
+	n := g.N()
+	sg := &Subgraph{
+		G:     g,
+		In:    make([]bool, n),
+		Succs: make([][]int, n),
+		Preds: make([][]int, n),
+		Entry: entry,
+	}
+	for _, u := range nodes {
+		sg.In[u] = true
+	}
+	for _, u := range nodes {
+		sg.Nodes = append(sg.Nodes, u)
+		for _, v := range g.Succs[u] {
+			if sg.In[v] && !isBack(u, v) {
+				sg.Succs[u] = append(sg.Succs[u], v)
+				sg.Preds[v] = append(sg.Preds[v], u)
+			}
+		}
+	}
+	return sg
+}
+
+// Topological returns the member nodes in a topological order of the
+// subgraph (entry first). It returns an error if the subgraph is cyclic,
+// which for a forward view indicates an irreducible region.
+func (sg *Subgraph) Topological() ([]int, error) {
+	indeg := make(map[int]int, len(sg.Nodes))
+	for _, u := range sg.Nodes {
+		indeg[u] += 0
+		for _, v := range sg.Succs[u] {
+			indeg[v]++
+		}
+	}
+	// Stable queue: prefer original block order so schedules are
+	// deterministic.
+	var order []int
+	ready := []int{}
+	for _, u := range sg.Nodes {
+		if indeg[u] == 0 {
+			ready = append(ready, u)
+		}
+	}
+	for len(ready) > 0 {
+		u := ready[0]
+		ready = ready[1:]
+		order = append(order, u)
+		for _, v := range sg.Succs[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				// insert keeping ascending block order
+				at := len(ready)
+				for k, w := range ready {
+					if v < w {
+						at = k
+						break
+					}
+				}
+				ready = append(ready, 0)
+				copy(ready[at+1:], ready[at:])
+				ready[at] = v
+			}
+		}
+	}
+	if len(order) != len(sg.Nodes) {
+		return nil, fmt.Errorf("cfg: cyclic forward subgraph (irreducible region)")
+	}
+	return order, nil
+}
+
+// CondensationOrder returns the member nodes in a topological order of
+// the subgraph's strongly-connected-component condensation: if any path
+// leads from u's component to v's component, u appears before v. Members
+// of one component (a nested loop kept intact in the dependence view)
+// appear consecutively in ascending node order. This is the paper's
+// block processing order — "if there is a path in the control flow graph
+// from A to B, A is processed before B" — for region views that keep
+// nested back edges.
+func (sg *Subgraph) CondensationOrder() []int {
+	// Tarjan's algorithm emits SCCs in reverse topological order.
+	index := make(map[int]int, len(sg.Nodes))
+	low := make(map[int]int, len(sg.Nodes))
+	onStack := make(map[int]bool, len(sg.Nodes))
+	var stack []int
+	var sccs [][]int
+	next := 0
+	var strong func(u int)
+	strong = func(u int) {
+		index[u] = next
+		low[u] = next
+		next++
+		stack = append(stack, u)
+		onStack[u] = true
+		for _, v := range sg.Succs[u] {
+			if _, seen := index[v]; !seen {
+				strong(v)
+				if low[v] < low[u] {
+					low[u] = low[v]
+				}
+			} else if onStack[v] && index[v] < low[u] {
+				low[u] = index[v]
+			}
+		}
+		if low[u] == index[u] {
+			var scc []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == u {
+					break
+				}
+			}
+			sort.Ints(scc)
+			sccs = append(sccs, scc)
+		}
+	}
+	// Deterministic root order.
+	for _, u := range sg.Nodes {
+		if _, seen := index[u]; !seen {
+			strong(u)
+		}
+	}
+	// Reverse the SCC list to get topological order, but preserve a
+	// deterministic layout among incomparable components: Tarjan's
+	// reverse order is already a valid topological order; ties follow
+	// the DFS root order, which we seeded ascending.
+	var order []int
+	for i := len(sccs) - 1; i >= 0; i-- {
+		order = append(order, sccs[i]...)
+	}
+	return order
+}
+
+// ReachableFrom returns, for the subgraph, the transitive reachability
+// relation reach[u][v] = true iff there is a (possibly empty) path from u
+// to v using subgraph edges. Indexed by parent-graph node numbers, but
+// only member rows are populated.
+func (sg *Subgraph) ReachableFrom() map[int]map[int]bool {
+	order, err := sg.Topological()
+	reach := make(map[int]map[int]bool, len(sg.Nodes))
+	if err != nil {
+		// Fall back to per-node BFS for cyclic graphs.
+		for _, u := range sg.Nodes {
+			reach[u] = sg.bfsFrom(u)
+		}
+		return reach
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		r := map[int]bool{u: true}
+		for _, v := range sg.Succs[u] {
+			for w := range reach[v] {
+				r[w] = true
+			}
+		}
+		reach[u] = r
+	}
+	return reach
+}
+
+func (sg *Subgraph) bfsFrom(u int) map[int]bool {
+	r := map[int]bool{u: true}
+	stack := []int{u}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range sg.Succs[x] {
+			if !r[v] {
+				r[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return r
+}

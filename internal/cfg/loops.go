@@ -1,0 +1,251 @@
+package cfg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Region is the paper's scheduling unit (§5.1): either a strongly
+// connected component corresponding to a natural loop (IsLoop true), or
+// the body of the function without the enclosed loops (the root region,
+// IsLoop false). Blocks contains every block of the region including
+// blocks of nested regions; Inner lists the directly nested regions.
+type Region struct {
+	Header int
+	Blocks []int // sorted ascending; includes Header and nested blocks
+	Inner  []*Region
+	Parent *Region
+	IsLoop bool
+	Depth  int // 0 for the root (function body), 1 for top-level loops, ...
+}
+
+// Contains reports whether block b belongs to the region.
+func (r *Region) Contains(b int) bool {
+	i := sort.SearchInts(r.Blocks, b)
+	return i < len(r.Blocks) && r.Blocks[i] == b
+}
+
+// IsInner reports whether the region contains no nested regions (the
+// paper's "inner region").
+func (r *Region) IsInner() bool { return len(r.Inner) == 0 }
+
+// OwnBlocks returns the blocks belonging to this region but not to any
+// nested region. Instructions of nested regions are pinned when this
+// region is scheduled (nothing moves in or out of a region).
+func (r *Region) OwnBlocks() []int {
+	nested := make(map[int]bool)
+	for _, in := range r.Inner {
+		for _, b := range in.Blocks {
+			nested[b] = true
+		}
+	}
+	var own []int
+	for _, b := range r.Blocks {
+		if !nested[b] {
+			own = append(own, b)
+		}
+	}
+	return own
+}
+
+// Walk visits the region tree innermost-first (children before parents).
+func (r *Region) Walk(fn func(*Region)) {
+	for _, in := range r.Inner {
+		in.Walk(fn)
+	}
+	fn(r)
+}
+
+func (r *Region) String() string {
+	kind := "body"
+	if r.IsLoop {
+		kind = "loop"
+	}
+	return fmt.Sprintf("%s@BL%d%v", kind, r.Header+1, r.Blocks)
+}
+
+// LoopInfo summarises the loop structure of a function.
+type LoopInfo struct {
+	G *Graph
+	// Root is the function-body region containing everything reachable.
+	Root *Region
+	// BackEdge[u] lists the headers v such that u->v is a back edge.
+	backEdge map[[2]int]bool
+	// Irreducible is true when some cycle is not a natural loop; the
+	// paper schedules only reducible regions, so irreducible functions
+	// are left to the basic block scheduler.
+	Irreducible bool
+	dom         *DomTree
+}
+
+// FindLoops discovers natural loops and builds the region tree. Entry is
+// block 0.
+func FindLoops(g *Graph) *LoopInfo {
+	dom := Dominators(g, 0)
+	li := &LoopInfo{G: g, backEdge: make(map[[2]int]bool), dom: dom}
+	reach := g.Reachable(0)
+
+	// Back edges: u->v with v dominating u.
+	type loopAcc struct {
+		header int
+		blocks map[int]bool
+	}
+	loops := make(map[int]*loopAcc) // header -> accumulated body
+	for u := 0; u < g.N(); u++ {
+		if !reach[u] {
+			continue
+		}
+		for _, v := range g.Succs[u] {
+			if dom.Dominates(v, u) {
+				li.backEdge[[2]int{u, v}] = true
+				acc := loops[v]
+				if acc == nil {
+					acc = &loopAcc{header: v, blocks: map[int]bool{v: true}}
+					loops[v] = acc
+				}
+				// Natural loop: v plus all nodes reaching u
+				// without passing through v.
+				if !acc.blocks[u] {
+					acc.blocks[u] = true
+					stack := []int{u}
+					for len(stack) > 0 {
+						x := stack[len(stack)-1]
+						stack = stack[:len(stack)-1]
+						for _, p := range g.Preds[x] {
+							if reach[p] && !acc.blocks[p] {
+								acc.blocks[p] = true
+								stack = append(stack, p)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Reducibility: with the discovered back edges removed, the
+	// reachable graph must be acyclic.
+	li.Irreducible = hasCycleWithout(g, reach, li.backEdge)
+
+	// Materialise loop regions.
+	var regions []*Region
+	for _, acc := range loops {
+		r := &Region{Header: acc.header, IsLoop: true}
+		for b := range acc.blocks {
+			r.Blocks = append(r.Blocks, b)
+		}
+		sort.Ints(r.Blocks)
+		regions = append(regions, r)
+	}
+	// Deterministic order: by size ascending then header (inner loops are
+	// strictly smaller than the loops containing them).
+	sort.Slice(regions, func(i, j int) bool {
+		if len(regions[i].Blocks) != len(regions[j].Blocks) {
+			return len(regions[i].Blocks) < len(regions[j].Blocks)
+		}
+		return regions[i].Header < regions[j].Header
+	})
+
+	// Root region covers everything reachable.
+	root := &Region{Header: 0, IsLoop: false}
+	for b := 0; b < g.N(); b++ {
+		if reach[b] {
+			root.Blocks = append(root.Blocks, b)
+		}
+	}
+
+	// Nest each loop in the smallest strictly-containing region.
+	for i, r := range regions {
+		var parent *Region
+		for j := i + 1; j < len(regions); j++ {
+			c := regions[j]
+			if len(c.Blocks) > len(r.Blocks) && c.Contains(r.Header) {
+				parent = c
+				break
+			}
+		}
+		if parent == nil {
+			parent = root
+		}
+		r.Parent = parent
+		parent.Inner = append(parent.Inner, r)
+	}
+	var setDepth func(r *Region, d int)
+	setDepth = func(r *Region, d int) {
+		r.Depth = d
+		sort.Slice(r.Inner, func(i, j int) bool { return r.Inner[i].Header < r.Inner[j].Header })
+		for _, in := range r.Inner {
+			setDepth(in, d+1)
+		}
+	}
+	setDepth(root, 0)
+	li.Root = root
+	return li
+}
+
+// IsBackEdge reports whether u->v is a back edge of some natural loop.
+func (li *LoopInfo) IsBackEdge(u, v int) bool { return li.backEdge[[2]int{u, v}] }
+
+// Dom returns the dominator tree used for loop discovery.
+func (li *LoopInfo) Dom() *DomTree { return li.dom }
+
+// hasCycleWithout reports whether the reachable subgraph minus the given
+// edges contains a cycle.
+func hasCycleWithout(g *Graph, reach []bool, skip map[[2]int]bool) bool {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]int, g.N())
+	var dfs func(int) bool
+	dfs = func(u int) bool {
+		color[u] = grey
+		for _, v := range g.Succs[u] {
+			if skip[[2]int{u, v}] {
+				continue
+			}
+			switch color[v] {
+			case grey:
+				return true
+			case white:
+				if dfs(v) {
+					return true
+				}
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for u := 0; u < g.N(); u++ {
+		if reach[u] && color[u] == white {
+			if dfs(u) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RegionExits returns the member nodes of the region that can leave its
+// forward view: nodes with an edge out of the region, a back edge (the
+// loop-continuing jump leaves the forward body), or a function exit.
+func RegionExits(g *Graph, li *LoopInfo, r *Region) []int {
+	in := make(map[int]bool, len(r.Blocks))
+	for _, b := range r.Blocks {
+		in[b] = true
+	}
+	var exits []int
+	for _, u := range r.Blocks {
+		isExit := len(g.Succs[u]) == 0
+		for _, v := range g.Succs[u] {
+			if !in[v] || li.IsBackEdge(u, v) {
+				isExit = true
+			}
+		}
+		if isExit {
+			exits = append(exits, u)
+		}
+	}
+	return exits
+}

@@ -1,0 +1,514 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gsched/internal/cfg"
+	"gsched/internal/dataflow"
+	"gsched/internal/ir"
+	"gsched/internal/pdg"
+)
+
+// homeOf locates the block an instruction currently lives in (debugging).
+func (rs *regionScheduler) homeOf(i *ir.Instr) int {
+	for bi, b := range rs.f.Blocks {
+		for _, in := range b.Instrs {
+			if in == i {
+				return bi
+			}
+		}
+	}
+	return -1
+}
+
+// candidate describes one instruction considered for scheduling into the
+// current block.
+type candidate struct {
+	instr *ir.Instr
+	home  int     // block index the instruction currently lives in
+	spec  bool    // true when scheduling it here is speculative
+	dup   bool    // true when scheduling it here requires duplication
+	pos   int     // original program position, for the final tie-break
+	d, cp int     // §5.2 heuristics, computed in the home block
+	prob  float64 // execution probability of home given the target (1 without profile)
+}
+
+// class ranks the §5.2 candidate classes: useful before speculative
+// before duplication (the paper's conservative ordering in §1).
+func (c *candidate) class() int {
+	switch {
+	case c.dup:
+		return 2
+	case c.spec:
+		return 1
+	}
+	return 0
+}
+
+// regionScheduler carries the state of scheduling one region.
+type regionScheduler struct {
+	f    *ir.Func
+	g    *cfg.Graph
+	p    *pdg.PDG
+	opts *Options
+	st   *Stats
+
+	// scheduled marks instruction IDs placed at their final position.
+	scheduled map[int]bool
+	// cycleOf/blockOf record the session cycle and final block of
+	// scheduled instructions (cycleOf only meaningful within the
+	// session that placed them).
+	cycleOf map[int]int
+	blockOf map[int]int
+	// pos is the original program position of every instruction.
+	pos map[int]int
+	// own marks the region's own blocks (not part of any nested
+	// region). Only they run sessions and only they contribute
+	// candidates: instructions never move in or out of a region.
+	own map[int]bool
+	// live is the current live-variable analysis, recomputed after
+	// motions (§5.3: "this type of information has to be updated
+	// dynamically").
+	live *dataflow.Liveness
+	// processed marks blocks whose sessions have completed (or that
+	// were pinned and passed) in this region walk.
+	processed map[int]bool
+}
+
+// run schedules every own block of the region in topological order.
+func (rs *regionScheduler) run() {
+	rs.own = make(map[int]bool)
+	rs.processed = make(map[int]bool)
+	for _, b := range rs.p.Region.OwnBlocks() {
+		rs.own[b] = true
+	}
+	for _, a := range rs.p.Topo {
+		// Mark instructions of pinned (nested-region) blocks as
+		// externally complete once passed in topological order; their
+		// own sessions never run.
+		if !rs.own[a] {
+			for _, i := range rs.f.Blocks[a].Instrs {
+				rs.scheduled[i.ID] = true
+				rs.blockOf[i.ID] = a
+				rs.cycleOf[i.ID] = -1
+			}
+			rs.processed[a] = true
+			continue
+		}
+		rs.scheduleBlock(a)
+		rs.processed[a] = true
+	}
+}
+
+// gatherCandidates builds the candidate instruction list for block a
+// (§5.1's candidate blocks and candidate instructions).
+func (rs *regionScheduler) gatherCandidates(a int) []*candidate {
+	var cands []*candidate
+	heights := make(map[int][2]map[int]int) // block -> (D, CP)
+	heightsOf := func(b int) (map[int]int, map[int]int) {
+		if h, ok := heights[b]; ok {
+			return h[0], h[1]
+		}
+		d, cp := pdg.Heights(rs.f.Blocks[b], rs.p.DDG, rs.opts.Machine)
+		heights[b] = [2]map[int]int{d, cp}
+		return d, cp
+	}
+	add := func(i *ir.Instr, home int, spec, dup bool, prob float64) {
+		d, cp := heightsOf(home)
+		cands = append(cands, &candidate{
+			instr: i, home: home, spec: spec, dup: dup, prob: prob,
+			pos: rs.pos[i.ID], d: d[i.ID], cp: cp[i.ID],
+		})
+	}
+	// The block's own instructions, including its terminator.
+	for _, i := range rs.f.Blocks[a].Instrs {
+		add(i, a, false, false, 1)
+	}
+	// Useful candidates: bodies of EQUIV(a), minus never-moving
+	// instructions (calls, branches). Blocks of nested regions never
+	// contribute: their instructions must not leave their region.
+	for _, b := range rs.p.Equiv(a) {
+		if !rs.own[b] {
+			continue
+		}
+		for _, i := range rs.f.Blocks[b].Instrs {
+			if !i.Op.NeverMoves() {
+				add(i, b, false, false, 1)
+			}
+		}
+	}
+	// Speculative candidates up to the configured degree.
+	if rs.opts.Level >= LevelSpeculative {
+		degree := rs.opts.SpecDegree
+		if degree < 1 {
+			degree = 1
+		}
+		for _, b := range rs.p.SpecCandidatesN(a, degree) {
+			if !rs.own[b] {
+				continue
+			}
+			prob := 1.0
+			if rs.opts.Profile != nil {
+				prob = rs.p.ExecProb(a, b, func(t *ir.Instr) float64 {
+					return rs.opts.Profile.Branch(rs.f.Name, t.ID).TakenProb()
+				})
+				if prob < rs.opts.MinSpecProb {
+					continue // gambling against the odds
+				}
+			}
+			for _, i := range rs.f.Blocks[b].Instrs {
+				if i.Op.NeverMoves() || i.Op.NeverSpeculates() {
+					continue
+				}
+				if i.Op.IsLoad() && !rs.opts.SpeculateLoads {
+					continue
+				}
+				add(i, b, true, false, prob)
+			}
+		}
+	}
+	// Duplication candidates (Definition 6): join blocks directly below
+	// a whose every predecessor can host a copy. The copy placed in a
+	// fills its delay slots; the other predecessors get end-of-block
+	// copies at pick time.
+	if rs.opts.Duplicate && rs.opts.Level >= LevelSpeculative {
+		for _, b := range rs.dupJoinsBelow(a) {
+			for _, i := range rs.f.Blocks[b].Instrs {
+				if i.Op.NeverMoves() || i.Op.NeverSpeculates() {
+					continue
+				}
+				if i.Op.IsLoad() && !rs.opts.SpeculateLoads {
+					continue
+				}
+				add(i, b, false, true, 1)
+			}
+		}
+	}
+	return cands
+}
+
+// dupJoinsBelow lists the CFG successors of a that qualify for
+// duplication: own blocks with at least two predecessors, all of them
+// own blocks too, none reaching b twice via a (a itself must be a direct
+// predecessor so its copy covers exactly the paths through a).
+func (rs *regionScheduler) dupJoinsBelow(a int) []int {
+	var out []int
+	for _, b := range rs.g.Succs[a] {
+		if b == a || !rs.own[b] || !rs.p.Region.Contains(b) {
+			continue
+		}
+		if rs.p.Equivalent(a, b) {
+			continue // useful candidates already cover it
+		}
+		preds := rs.g.Preds[b]
+		if len(preds) < 2 {
+			continue
+		}
+		ok := true
+		for _, p := range preds {
+			if !rs.own[p] || !rs.p.Region.Contains(p) {
+				ok = false // copies may not cross region boundaries
+				break
+			}
+		}
+		if ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// allowDuplicate applies the duplication legality checks at pick time:
+// for every predecessor P of the join, the instruction's definitions must
+// not be consumed by P's terminator nor be live into any other successor
+// of P (the copy turns speculative on those paths).
+func (rs *regionScheduler) allowDuplicate(a int, join int, i *ir.Instr) bool {
+	var defs [2]ir.Reg
+	ds := i.Defs(defs[:0])
+	for _, p := range rs.g.Preds[join] {
+		pb := rs.f.Blocks[p]
+		if t := pb.Terminator(); t != nil {
+			for _, r := range ds {
+				if t.UsesReg(r) {
+					return false
+				}
+			}
+		}
+		for _, s := range rs.g.Succs[p] {
+			if s == join {
+				continue
+			}
+			for _, r := range ds {
+				if rs.live.In[s].Has(r) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// viability removes candidates that transitively depend on instructions
+// that are neither already scheduled nor themselves viable candidates
+// (e.g. a definition in an intervening block that is processed later).
+// The block's own instructions are always viable: their predecessors are
+// in the block itself or in topologically earlier blocks.
+func (rs *regionScheduler) viability(a int, cands []*candidate) []*candidate {
+	viable := make(map[int]*candidate, len(cands))
+	for _, c := range cands {
+		viable[c.instr.ID] = c
+	}
+	for changed := true; changed; {
+		changed = false
+		for id, c := range viable {
+			if c.home == a {
+				continue
+			}
+			ok := true
+			for _, e := range rs.p.DDG.Preds[id] {
+				p := e.From.ID
+				if rs.scheduled[p] {
+					continue
+				}
+				if _, isCand := viable[p]; isCand {
+					continue
+				}
+				ok = false
+				break
+			}
+			if !ok {
+				delete(viable, id)
+				changed = true
+			}
+		}
+	}
+	out := cands[:0]
+	for _, c := range cands {
+		if _, ok := viable[c.instr.ID]; ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// better implements the §5.2 decision order between two ready candidates:
+// useful before speculative, bigger D, bigger CP, then original order.
+// With a profile, a clearly more probable speculative candidate wins
+// before the heuristics (the paper's branch-probability remark in §1).
+func better(x, y *candidate) bool {
+	if x.class() != y.class() {
+		return x.class() < y.class()
+	}
+	if x.spec && (x.prob-y.prob > 0.25 || y.prob-x.prob > 0.25) {
+		return x.prob > y.prob
+	}
+	if x.d != y.d {
+		return x.d > y.d
+	}
+	if x.cp != y.cp {
+		return x.cp > y.cp
+	}
+	return x.pos < y.pos
+}
+
+// scheduleBlock runs one cycle-driven scheduling session for block a.
+func (rs *regionScheduler) scheduleBlock(a int) {
+	blk := rs.f.Blocks[a]
+	term := blk.Terminator()
+	ownLeft := 0
+	for range blk.Instrs {
+		ownLeft++
+	}
+	cands := rs.viability(a, rs.gatherCandidates(a))
+
+	done := make(map[int]bool, len(cands))
+	var newOrder []*ir.Instr
+	movedSomething := false
+
+	// earliest returns the first cycle the candidate may start, or -1
+	// if some predecessor is not scheduled yet.
+	earliest := func(c *candidate) int {
+		at := 0
+		for _, e := range rs.p.DDG.Preds[c.instr.ID] {
+			pid := e.From.ID
+			if done[pid] {
+				// Scheduled within this session.
+				t := rs.cycleOf[pid] + rs.opts.Machine.Exec(e.From.Op) + e.Delay
+				if t > at {
+					at = t
+				}
+				continue
+			}
+			if rs.scheduled[pid] {
+				continue // completed in an earlier block
+			}
+			return -1
+		}
+		return at
+	}
+
+	cycle := 0
+	guard := 0
+	for {
+		if term != nil {
+			if done[term.ID] {
+				break
+			}
+		} else if ownLeft == 0 {
+			break
+		}
+		if guard++; guard > 1_000_000 {
+			var stuck []string
+			for _, c := range cands {
+				if done[c.instr.ID] || c.home != a {
+					continue
+				}
+				msg := fmt.Sprintf("own %s (id %d) waits on:", c.instr, c.instr.ID)
+				for _, e := range rs.p.DDG.Preds[c.instr.ID] {
+					if !done[e.From.ID] && !rs.scheduled[e.From.ID] {
+						msg += fmt.Sprintf(" [%s id %d in BL%d kind %s]",
+							e.From, e.From.ID, rs.homeOf(e.From), e.Kind)
+					}
+				}
+				stuck = append(stuck, msg)
+			}
+			panic(fmt.Sprintf("core: scheduling session for block %d did not converge:\n%s",
+				a, strings.Join(stuck, "\n")))
+		}
+
+		// Collect candidates ready this cycle.
+		var ready []*candidate
+		for _, c := range cands {
+			if done[c.instr.ID] {
+				continue
+			}
+			// The terminator goes last: eligible only when every other
+			// own instruction has been scheduled.
+			if c.instr == term && ownLeft > 1 {
+				continue
+			}
+			if at := earliest(c); at >= 0 && at <= cycle {
+				ready = append(ready, c)
+			}
+		}
+		sort.Slice(ready, func(i, j int) bool { return better(ready[i], ready[j]) })
+
+		var unitsUsed [8]int
+
+		var termPick *candidate
+		for _, c := range ready {
+			if done[c.instr.ID] {
+				continue
+			}
+			t := rs.opts.Machine.Unit(c.instr.Op)
+			if unitsUsed[t] >= rs.opts.Machine.NumUnits[t] {
+				continue
+			}
+			if c.instr == term {
+				// The terminator must be the last instruction of the
+				// block: reserve its unit now but append it after the
+				// round's other picks.
+				unitsUsed[t]++
+				termPick = c
+
+				continue
+			}
+			if c.spec && !rs.allowSpeculative(a, c.instr) {
+				continue
+			}
+			if c.dup && !rs.allowDuplicate(a, c.home, c.instr) {
+				continue
+			}
+			// Place the instruction.
+			unitsUsed[t]++
+
+			done[c.instr.ID] = true
+			rs.scheduled[c.instr.ID] = true
+			rs.cycleOf[c.instr.ID] = cycle
+			rs.blockOf[c.instr.ID] = a
+			newOrder = append(newOrder, c.instr)
+			if c.home == a {
+				ownLeft--
+			} else {
+				// Physically move it now so liveness updates see it.
+				rs.f.Blocks[c.home].Remove(c.instr)
+				insertBeforeTerminator(blk, c.instr)
+				movedSomething = true
+				switch {
+				case c.dup:
+					rs.duplicateIntoPreds(a, c)
+					rs.st.DuplicatedMoves++
+					rs.refreshLiveness()
+				case c.spec:
+					rs.st.SpeculativeMoves++
+					rs.refreshLiveness()
+				default:
+					rs.st.UsefulMoves++
+				}
+			}
+		}
+		if termPick != nil {
+			done[term.ID] = true
+			rs.scheduled[term.ID] = true
+			rs.cycleOf[term.ID] = cycle
+			rs.blockOf[term.ID] = a
+			newOrder = append(newOrder, term)
+			ownLeft--
+		}
+		cycle++
+	}
+
+	blk.Instrs = newOrder
+	if movedSomething {
+		rs.refreshLiveness()
+	}
+}
+
+// duplicateIntoPreds places copies of a duplicated instruction at the
+// end of every predecessor of the join except the session's block, then
+// rebuilds the dependence graph so later sessions see the copies.
+func (rs *regionScheduler) duplicateIntoPreds(a int, c *candidate) {
+	for _, p := range rs.g.Preds[c.home] {
+		if p == a {
+			continue
+		}
+		clone := rs.f.CloneInstr(c.instr)
+		insertBeforeTerminator(rs.f.Blocks[p], clone)
+		rs.pos[clone.ID] = rs.pos[c.instr.ID]
+		if rs.processed[p] {
+			// The host block's session already ran; the copy counts as
+			// complete for every later dependence check.
+			rs.scheduled[clone.ID] = true
+			rs.blockOf[clone.ID] = p
+			rs.cycleOf[clone.ID] = -1
+		}
+	}
+	rs.p.RebuildDDG(rs.opts.Machine)
+}
+
+// allowSpeculative applies the §5.3 rule: a speculative instruction must
+// not define a register that is live on exit from the target block.
+func (rs *regionScheduler) allowSpeculative(a int, i *ir.Instr) bool {
+	var defs [2]ir.Reg
+	for _, r := range i.Defs(defs[:0]) {
+		if rs.live.LiveOnExit(a, r) {
+			return false
+		}
+	}
+	return true
+}
+
+func (rs *regionScheduler) refreshLiveness() {
+	rs.live = dataflow.Compute(rs.f, rs.g)
+}
+
+// insertBeforeTerminator appends i to blk, keeping the terminator last.
+func insertBeforeTerminator(blk *ir.Block, i *ir.Instr) {
+	if t := blk.Terminator(); t != nil {
+		blk.Instrs = append(blk.Instrs[:len(blk.Instrs)-1], i, t)
+	} else {
+		blk.Instrs = append(blk.Instrs, i)
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"sort"
+
+	"gsched/internal/ir"
+	"gsched/internal/machine"
+	"gsched/internal/pdg"
+)
+
+// ScheduleBlockLocal reorders one basic block with a cycle-driven list
+// scheduler against the machine description. This is the §5.1 post-pass
+// ("the basic block scheduler is applied to every single basic block of a
+// program after the global scheduling is completed") and also the whole
+// of the BASE configuration's scheduling, standing in for the XL
+// compiler's local scheduler of [W90].
+func ScheduleBlockLocal(blk *ir.Block, mach *machine.Desc) {
+	if len(blk.Instrs) < 2 {
+		return
+	}
+	ddg := pdg.BuildBlockDDG(blk, mach)
+	d, cp := pdg.Heights(blk, ddg, mach)
+	term := blk.Terminator()
+
+	type node struct {
+		instr *ir.Instr
+		pos   int
+	}
+	nodes := make([]node, len(blk.Instrs))
+	for k, i := range blk.Instrs {
+		nodes[k] = node{instr: i, pos: k}
+	}
+	done := make(map[int]bool, len(nodes))
+	cycleOf := make(map[int]int, len(nodes))
+	newOrder := make([]*ir.Instr, 0, len(nodes))
+
+	earliest := func(i *ir.Instr) int {
+		at := 0
+		for _, e := range ddg.Preds[i.ID] {
+			if !done[e.From.ID] {
+				// Predecessors outside the block were filtered out by
+				// BuildBlockDDG, so this one is simply unscheduled.
+				return -1
+			}
+			if t := cycleOf[e.From.ID] + mach.Exec(e.From.Op) + e.Delay; t > at {
+				at = t
+			}
+		}
+		return at
+	}
+
+	cycle := 0
+	for len(newOrder) < len(nodes) {
+		var ready []node
+		for _, n := range nodes {
+			if done[n.instr.ID] {
+				continue
+			}
+			if n.instr == term && len(newOrder) < len(nodes)-1 {
+				continue
+			}
+			if at := earliest(n.instr); at >= 0 && at <= cycle {
+				ready = append(ready, n)
+			}
+		}
+		sort.Slice(ready, func(i, j int) bool {
+			x, y := ready[i], ready[j]
+			if d[x.instr.ID] != d[y.instr.ID] {
+				return d[x.instr.ID] > d[y.instr.ID]
+			}
+			if cp[x.instr.ID] != cp[y.instr.ID] {
+				return cp[x.instr.ID] > cp[y.instr.ID]
+			}
+			return x.pos < y.pos
+		})
+		var unitsUsed [8]int
+		for _, n := range ready {
+			t := mach.Unit(n.instr.Op)
+			if unitsUsed[t] >= mach.NumUnits[t] {
+				continue
+			}
+			unitsUsed[t]++
+			done[n.instr.ID] = true
+			cycleOf[n.instr.ID] = cycle
+			newOrder = append(newOrder, n.instr)
+		}
+		cycle++
+	}
+	blk.Instrs = newOrder
+}

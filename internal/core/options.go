@@ -1,0 +1,136 @@
+// Package core implements the paper's contribution: the global
+// instruction scheduling framework of §5. The top-level process schedules
+// region by region (innermost loops first), visits the basic blocks of a
+// region in topological order, and for each block runs a cycle-driven
+// ready list fed from the candidate blocks C(A) — EQUIV(A) for useful
+// scheduling, plus the immediate CSPDG successors of A ∪ EQUIV(A) for
+// 1-branch speculative scheduling. Priorities follow §5.2: useful before
+// speculative, then the delay heuristic D, then the critical path CP,
+// then original program order. Speculative motions respect the
+// live-on-exit rule of §5.3 with dynamic updates. A basic block
+// scheduler (§5.1's post-pass) runs after global scheduling.
+package core
+
+import (
+	"gsched/internal/machine"
+	"gsched/internal/profile"
+)
+
+// Level selects how much global motion is allowed.
+type Level int
+
+const (
+	// LevelNone performs no global scheduling: only the basic block
+	// post-pass runs. This is the paper's BASE configuration (the XL
+	// compiler's own local scheduler).
+	LevelNone Level = iota
+	// LevelUseful moves instructions only between equivalent blocks
+	// (0-branch speculative, Definition 4).
+	LevelUseful
+	// LevelSpeculative additionally allows 1-branch speculative motion
+	// (Definition 7 with n = 1).
+	LevelSpeculative
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelNone:
+		return "none"
+	case LevelUseful:
+		return "useful"
+	case LevelSpeculative:
+		return "speculative"
+	}
+	return "level?"
+}
+
+// Options configures the scheduler. The zero value is not useful; start
+// from Defaults.
+type Options struct {
+	// Machine is the parametric machine description (required).
+	Machine *machine.Desc
+	// Level is the global scheduling level.
+	Level Level
+	// LocalPass runs the basic block scheduler after global scheduling
+	// (§5.1: "the basic block scheduler is applied to every single
+	// basic block of a program after the global scheduling").
+	LocalPass bool
+	// Rename runs register renaming before scheduling (§4.2's
+	// SSA-like renaming that removes anti and output dependences).
+	Rename bool
+	// SpecDegree is the maximum number of branches to gamble on
+	// (Definition 7). The paper's prototype supports 1; larger values
+	// implement its stated future work of "more aggressive speculative
+	// scheduling". Ignored below LevelSpeculative.
+	SpecDegree int
+	// Profile, when non-nil, supplies branch direction counts. The
+	// scheduler then skips speculative candidates whose estimated
+	// execution probability falls below MinSpecProb, and prefers more
+	// probable speculative candidates among equals (§1: global
+	// scheduling "is capable of taking advantage of the branch
+	// probabilities, whenever available").
+	Profile *profile.Profile
+	// MinSpecProb is the execution probability below which speculative
+	// candidates are rejected when a Profile is present.
+	MinSpecProb float64
+	// Duplicate enables the restricted scheduling-with-duplication of
+	// Definition 6 (the paper's other future-work item): an
+	// instruction may move from a join block into ALL of the join's
+	// predecessors — the copy placed in the session's block fills its
+	// delay slots, the other copies ride along at the ends of their
+	// blocks. Off by default, matching the paper's stated limitation
+	// ("no duplication of code is allowed").
+	Duplicate bool
+	// SpeculateLoads permits loads to be scheduled speculatively. The
+	// simulated machine's loads cannot trap on speculation gone wrong
+	// paths within allocated symbols, matching the paper's
+	// compile-time-analysis stance; disable for the conservative
+	// variant.
+	SpeculateLoads bool
+
+	// Region limits of §6: only "small" reducible regions are
+	// scheduled, and only two nesting levels (inner regions and outer
+	// regions that directly contain them).
+	MaxRegionBlocks int
+	MaxRegionInstrs int
+	MaxRegionLevels int
+}
+
+// Defaults returns the configuration used for the paper's experiments at
+// the given level.
+func Defaults(m *machine.Desc, level Level) Options {
+	return Options{
+		Machine:         m,
+		Level:           level,
+		LocalPass:       true,
+		Rename:          true,
+		SpeculateLoads:  true,
+		SpecDegree:      1,
+		MinSpecProb:     0.1,
+		MaxRegionBlocks: 64,
+		MaxRegionInstrs: 256,
+		MaxRegionLevels: 2,
+	}
+}
+
+// Stats reports what the scheduler did to one function.
+type Stats struct {
+	RegionsScheduled int
+	RegionsSkipped   int
+	UsefulMoves      int
+	SpeculativeMoves int
+	DuplicatedMoves  int
+	RenamedWebs      int
+	LocalBlocks      int
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(o Stats) {
+	s.RegionsScheduled += o.RegionsScheduled
+	s.RegionsSkipped += o.RegionsSkipped
+	s.UsefulMoves += o.UsefulMoves
+	s.SpeculativeMoves += o.SpeculativeMoves
+	s.DuplicatedMoves += o.DuplicatedMoves
+	s.RenamedWebs += o.RenamedWebs
+	s.LocalBlocks += o.LocalBlocks
+}

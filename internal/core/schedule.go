@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+
+	"gsched/internal/cfg"
+	"gsched/internal/dataflow"
+	"gsched/internal/ir"
+	"gsched/internal/pdg"
+	"gsched/internal/rename"
+)
+
+// ScheduleFunc runs the full scheduling pipeline on one function:
+// optional register renaming, global scheduling of every eligible region
+// (innermost first), and the basic block post-pass.
+func ScheduleFunc(f *ir.Func, opts Options) (Stats, error) {
+	var st Stats
+	if opts.Machine == nil {
+		return st, fmt.Errorf("core: Options.Machine is required")
+	}
+	g := cfg.Build(f)
+
+	if opts.Rename {
+		st.RenamedWebs = rename.Run(f, g)
+	}
+
+	if opts.Level > LevelNone {
+		li := cfg.FindLoops(g)
+		if !li.Irreducible {
+			scheduleRegions(f, g, li, &opts, &st)
+		} else {
+			st.RegionsSkipped++
+		}
+	}
+
+	if opts.LocalPass {
+		for _, b := range f.Blocks {
+			ScheduleBlockLocal(b, opts.Machine)
+			st.LocalBlocks++
+		}
+	}
+	return st, nil
+}
+
+// ScheduleProgram schedules every function of p.
+func ScheduleProgram(p *ir.Program, opts Options) (Stats, error) {
+	var st Stats
+	for _, f := range p.Funcs {
+		s, err := ScheduleFunc(f, opts)
+		if err != nil {
+			return st, fmt.Errorf("%s: %w", f.Name, err)
+		}
+		st.Add(s)
+	}
+	return st, nil
+}
+
+// regionHeight computes the nesting height of a region: 0 for inner
+// regions, 1 + max child height otherwise.
+func regionHeight(r *cfg.Region) int {
+	h := 0
+	for _, in := range r.Inner {
+		if ch := regionHeight(in) + 1; ch > h {
+			h = ch
+		}
+	}
+	return h
+}
+
+// scheduleRegions walks the region tree innermost-first and schedules
+// each eligible region (§6's configuration: only the two inner levels,
+// only "small" regions of at most MaxRegionBlocks blocks and
+// MaxRegionInstrs instructions, only reducible regions).
+func scheduleRegions(f *ir.Func, g *cfg.Graph, li *cfg.LoopInfo, opts *Options, st *Stats) {
+	li.Root.Walk(func(r *cfg.Region) {
+		if regionHeight(r) >= opts.MaxRegionLevels {
+			st.RegionsSkipped++
+			return
+		}
+		if opts.MaxRegionBlocks > 0 && len(r.Blocks) > opts.MaxRegionBlocks {
+			st.RegionsSkipped++
+			return
+		}
+		if opts.MaxRegionInstrs > 0 {
+			n := 0
+			for _, b := range r.Blocks {
+				n += len(f.Blocks[b].Instrs)
+			}
+			if n > opts.MaxRegionInstrs {
+				st.RegionsSkipped++
+				return
+			}
+		}
+		if err := ScheduleRegion(f, g, li, r, opts, st); err != nil {
+			st.RegionsSkipped++
+		}
+	})
+}
+
+// ScheduleRegion schedules one region with the global framework. It is
+// exported for the loop-rotation driver in package xform, which schedules
+// rotated inner loops a second time.
+func ScheduleRegion(f *ir.Func, g *cfg.Graph, li *cfg.LoopInfo, r *cfg.Region, opts *Options, st *Stats) error {
+	p, err := pdg.Build(f, g, li, r, opts.Machine)
+	if err != nil {
+		return err
+	}
+	rs := &regionScheduler{
+		f: f, g: g, p: p, opts: opts, st: st,
+		scheduled: make(map[int]bool),
+		cycleOf:   make(map[int]int),
+		blockOf:   make(map[int]int),
+		pos:       originalPositions(f),
+		live:      dataflow.Compute(f, g),
+	}
+	rs.run()
+	st.RegionsScheduled++
+	return nil
+}
+
+// originalPositions maps instruction IDs to their position in the current
+// layout, used for the §5.2 final tie-break ("pick an instruction that
+// occurred in the code first").
+func originalPositions(f *ir.Func) map[int]int {
+	pos := make(map[int]int, f.NumInstrIDs())
+	n := 0
+	f.Instrs(func(_ *ir.Block, i *ir.Instr) {
+		pos[i.ID] = n
+		n++
+	})
+	return pos
+}

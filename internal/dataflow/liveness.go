@@ -1,0 +1,176 @@
+// Package dataflow implements the live-variable analysis the speculative
+// scheduler depends on (§5.3 of the paper: an instruction must not move
+// speculatively into a block if it defines a register live on exit from
+// that block), plus the register set machinery shared with renaming.
+package dataflow
+
+import (
+	"gsched/internal/cfg"
+	"gsched/internal/ir"
+)
+
+// RegSet is a dense set of symbolic registers, one bitset per class.
+type RegSet struct {
+	bits [ir.NumClasses][]uint64
+}
+
+// NewRegSet returns a set sized for the registers of f.
+func NewRegSet(f *ir.Func) *RegSet {
+	s := &RegSet{}
+	for c := 0; c < ir.NumClasses; c++ {
+		n := f.NumRegs(ir.RegClass(c))
+		s.bits[c] = make([]uint64, (n+63)/64)
+	}
+	return s
+}
+
+func (s *RegSet) ensure(r ir.Reg) {
+	w := int(r.Num)/64 + 1
+	for len(s.bits[r.Class]) < w {
+		s.bits[r.Class] = append(s.bits[r.Class], 0)
+	}
+}
+
+// Add inserts r.
+func (s *RegSet) Add(r ir.Reg) {
+	if !r.Valid() {
+		return
+	}
+	s.ensure(r)
+	s.bits[r.Class][r.Num/64] |= 1 << (uint(r.Num) % 64)
+}
+
+// Del removes r.
+func (s *RegSet) Del(r ir.Reg) {
+	if !r.Valid() {
+		return
+	}
+	w := int(r.Num) / 64
+	if w < len(s.bits[r.Class]) {
+		s.bits[r.Class][w] &^= 1 << (uint(r.Num) % 64)
+	}
+}
+
+// Has reports whether r is in the set.
+func (s *RegSet) Has(r ir.Reg) bool {
+	if !r.Valid() {
+		return false
+	}
+	w := int(r.Num) / 64
+	return w < len(s.bits[r.Class]) && s.bits[r.Class][w]&(1<<(uint(r.Num)%64)) != 0
+}
+
+// UnionInto merges o into s and reports whether s changed.
+func (s *RegSet) UnionInto(o *RegSet) bool {
+	changed := false
+	for c := 0; c < ir.NumClasses; c++ {
+		for len(s.bits[c]) < len(o.bits[c]) {
+			s.bits[c] = append(s.bits[c], 0)
+		}
+		for w, v := range o.bits[c] {
+			if s.bits[c][w]|v != s.bits[c][w] {
+				s.bits[c][w] |= v
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// Copy returns an independent copy of s.
+func (s *RegSet) Copy() *RegSet {
+	c := &RegSet{}
+	for k := 0; k < ir.NumClasses; k++ {
+		c.bits[k] = append([]uint64(nil), s.bits[k]...)
+	}
+	return c
+}
+
+// Clear empties the set in place.
+func (s *RegSet) Clear() {
+	for c := 0; c < ir.NumClasses; c++ {
+		for w := range s.bits[c] {
+			s.bits[c][w] = 0
+		}
+	}
+}
+
+// ForEach calls fn for every member.
+func (s *RegSet) ForEach(fn func(ir.Reg)) {
+	for c := 0; c < ir.NumClasses; c++ {
+		for w, bitsw := range s.bits[c] {
+			for bitsw != 0 {
+				b := bitsw & (-bitsw)
+				bitsw ^= b
+				n := 0
+				for b > 1 {
+					b >>= 1
+					n++
+				}
+				fn(ir.Reg{Class: ir.RegClass(c), Num: int32(w*64 + n)})
+			}
+		}
+	}
+}
+
+// Count returns the number of members.
+func (s *RegSet) Count() int {
+	n := 0
+	s.ForEach(func(ir.Reg) { n++ })
+	return n
+}
+
+// Liveness holds per-block live-in and live-out register sets.
+type Liveness struct {
+	In, Out []*RegSet
+}
+
+// Compute runs the classic backward live-variable analysis over f using
+// the flow graph g.
+func Compute(f *ir.Func, g *cfg.Graph) *Liveness {
+	n := len(f.Blocks)
+	lv := &Liveness{In: make([]*RegSet, n), Out: make([]*RegSet, n)}
+	use := make([]*RegSet, n)
+	def := make([]*RegSet, n)
+	for i, b := range f.Blocks {
+		use[i], def[i] = NewRegSet(f), NewRegSet(f)
+		lv.In[i], lv.Out[i] = NewRegSet(f), NewRegSet(f)
+		var scratch []ir.Reg
+		for _, ins := range b.Instrs {
+			scratch = ins.Uses(scratch[:0])
+			for _, r := range scratch {
+				if !def[i].Has(r) {
+					use[i].Add(r)
+				}
+			}
+			scratch = ins.Defs(scratch[:0])
+			for _, r := range scratch {
+				def[i].Add(r)
+			}
+		}
+	}
+	// Iterate to a fixed point, visiting blocks in reverse layout order
+	// (a decent approximation of reverse control flow order).
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			out := lv.Out[i]
+			for _, s := range g.Succs[i] {
+				if out.UnionInto(lv.In[s]) {
+					changed = true
+				}
+			}
+			// in = use ∪ (out − def)
+			newIn := out.Copy()
+			def[i].ForEach(newIn.Del)
+			newIn.UnionInto(use[i])
+			if lv.In[i].UnionInto(newIn) {
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// LiveOnExit reports whether r is live on exit from block b.
+func (lv *Liveness) LiveOnExit(b int, r ir.Reg) bool { return lv.Out[b].Has(r) }

@@ -1,0 +1,52 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBCTShape(t *testing.T) {
+	f := NewFunc("t")
+	b := NewBuilder(f)
+	ctr := GPR(5)
+	b.Block("entry")
+	b.LI(ctr, 3)
+	b.Block("loop")
+	b.AI(GPR(1), GPR(1), 1)
+	bct := b.BCT("loop", ctr)
+	b.Block("out")
+	b.Ret(GPR(1))
+	f.ReindexBlocks()
+	if err := f.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !bct.Op.IsBranch() || !bct.Op.IsTerminator() || !bct.Op.NeverMoves() {
+		t.Error("BCT must be a pinned branch terminator")
+	}
+	if bct.Def != ctr || bct.A != ctr {
+		t.Error("BCT must define and use its counter")
+	}
+	if got := bct.String(); got != "BCT loop,r5" {
+		t.Errorf("String = %q", got)
+	}
+	// Succs: fallthrough then the target.
+	s := Succs(f, f.Blocks[1])
+	if len(s) != 2 || s[0].Label != "out" || s[1].Label != "loop" {
+		t.Errorf("Succs = %v", s)
+	}
+}
+
+func TestBCTValidation(t *testing.T) {
+	f := NewFunc("t")
+	b := NewBuilder(f)
+	b.Block("loop")
+	i := b.Emit(OpBCT, func(in *Instr) { in.Target = "loop"; in.A = GPR(1); in.Def = GPR(2) })
+	_ = i
+	b.Block("out")
+	b.Ret(NoReg)
+	f.ReindexBlocks()
+	err := f.Validate()
+	if err == nil || !strings.Contains(err.Error(), "decrement its own counter") {
+		t.Errorf("mismatched counter accepted: %v", err)
+	}
+}

@@ -1,0 +1,134 @@
+package ir
+
+// Builder provides a fluent way to emit instructions into blocks of a
+// function. It is used by the mini-C code generator, the paper-example
+// constructors, and tests.
+type Builder struct {
+	F   *Func
+	Cur *Block
+}
+
+// NewBuilder returns a builder for f, positioned at no block.
+func NewBuilder(f *Func) *Builder { return &Builder{F: f} }
+
+// Block starts a new block with the given label and makes it current.
+func (b *Builder) Block(label string) *Block {
+	b.Cur = b.F.NewBlock(label)
+	return b.Cur
+}
+
+// At makes an existing block current.
+func (b *Builder) At(blk *Block) *Builder {
+	b.Cur = blk
+	return b
+}
+
+// Emit appends a fresh instruction with the given opcode to the current
+// block, applying the options, and returns it.
+func (b *Builder) Emit(op Op, mod func(*Instr)) *Instr {
+	i := b.F.NewInstr(op)
+	if mod != nil {
+		mod(i)
+	}
+	b.F.NoteReg(i.Def)
+	b.F.NoteReg(i.Def2)
+	b.F.NoteReg(i.A)
+	b.F.NoteReg(i.B)
+	if i.Mem != nil {
+		b.F.NoteReg(i.Mem.Base)
+	}
+	for _, a := range i.CallArgs {
+		b.F.NoteReg(a)
+	}
+	b.Cur.Instrs = append(b.Cur.Instrs, i)
+	return i
+}
+
+// LI emits def = imm.
+func (b *Builder) LI(def Reg, imm int64) *Instr {
+	return b.Emit(OpLI, func(i *Instr) { i.Def = def; i.Imm = imm })
+}
+
+// LR emits def = src.
+func (b *Builder) LR(def, src Reg) *Instr {
+	return b.Emit(OpLR, func(i *Instr) { i.Def = def; i.A = src })
+}
+
+// Op2 emits def = a op bb for a register-register ALU opcode.
+func (b *Builder) Op2(op Op, def, a, bb Reg) *Instr {
+	return b.Emit(op, func(i *Instr) { i.Def = def; i.A = a; i.B = bb })
+}
+
+// OpI emits def = a op imm for a register-immediate ALU opcode.
+func (b *Builder) OpI(op Op, def, a Reg, imm int64) *Instr {
+	return b.Emit(op, func(i *Instr) { i.Def = def; i.A = a; i.Imm = imm })
+}
+
+// AI emits def = a + imm (the paper's add-immediate).
+func (b *Builder) AI(def, a Reg, imm int64) *Instr { return b.OpI(OpAddI, def, a, imm) }
+
+// Cmp emits cr = compare(a, bb).
+func (b *Builder) Cmp(cr, a, bb Reg) *Instr {
+	return b.Emit(OpCmp, func(i *Instr) { i.Def = cr; i.A = a; i.B = bb })
+}
+
+// CmpI emits cr = compare(a, imm).
+func (b *Builder) CmpI(cr, a Reg, imm int64) *Instr {
+	return b.Emit(OpCmpI, func(i *Instr) { i.Def = cr; i.A = a; i.Imm = imm })
+}
+
+// Load emits def = mem[sym(base,off)].
+func (b *Builder) Load(def Reg, sym string, base Reg, off int64) *Instr {
+	return b.Emit(OpLoad, func(i *Instr) {
+		i.Def = def
+		i.Mem = &Mem{Sym: sym, Base: base, Off: off}
+	})
+}
+
+// LoadU emits def = mem[sym(base,off)] with post-increment of base into
+// newBase (the paper's load-with-update).
+func (b *Builder) LoadU(def, newBase Reg, sym string, base Reg, off int64) *Instr {
+	return b.Emit(OpLoadU, func(i *Instr) {
+		i.Def = def
+		i.Def2 = newBase
+		i.Mem = &Mem{Sym: sym, Base: base, Off: off}
+	})
+}
+
+// Store emits mem[sym(base,off)] = val.
+func (b *Builder) Store(sym string, base Reg, off int64, val Reg) *Instr {
+	return b.Emit(OpStore, func(i *Instr) {
+		i.A = val
+		i.Mem = &Mem{Sym: sym, Base: base, Off: off}
+	})
+}
+
+// B emits an unconditional branch to the label.
+func (b *Builder) B(target string) *Instr {
+	return b.Emit(OpB, func(i *Instr) { i.Target = target })
+}
+
+// BT emits a branch to target taken when bit of cr is set.
+func (b *Builder) BT(target string, cr Reg, bit CRBit) *Instr {
+	return b.Emit(OpBC, func(i *Instr) { i.Target = target; i.A = cr; i.CRBit = bit; i.OnTrue = true })
+}
+
+// BF emits a branch to target taken when bit of cr is clear.
+func (b *Builder) BF(target string, cr Reg, bit CRBit) *Instr {
+	return b.Emit(OpBC, func(i *Instr) { i.Target = target; i.A = cr; i.CRBit = bit; i.OnTrue = false })
+}
+
+// BCT emits a counter branch: ctr--, branch to target while ctr != 0.
+func (b *Builder) BCT(target string, ctr Reg) *Instr {
+	return b.Emit(OpBCT, func(i *Instr) { i.Target = target; i.A = ctr; i.Def = ctr })
+}
+
+// Call emits def = target(args...). Pass NoReg for a void call.
+func (b *Builder) Call(def Reg, target string, args ...Reg) *Instr {
+	return b.Emit(OpCall, func(i *Instr) { i.Def = def; i.Target = target; i.CallArgs = args })
+}
+
+// Ret emits a return. Pass NoReg to return nothing.
+func (b *Builder) Ret(val Reg) *Instr {
+	return b.Emit(OpRet, func(i *Instr) { i.A = val })
+}

@@ -1,0 +1,37 @@
+package ir
+
+// Succs returns the control-flow successors of b within f, derived from
+// the terminator and layout order:
+//
+//   - OpB: the branch target only,
+//   - OpBC: the fallthrough block first, then the taken target,
+//   - OpRet: none,
+//   - no terminator: the next block in layout order.
+//
+// The fallthrough-first convention matches the reading order of the code.
+func Succs(f *Func, b *Block) []*Block {
+	t := b.Terminator()
+	switch {
+	case t == nil:
+		if b.Index+1 < len(f.Blocks) {
+			return []*Block{f.Blocks[b.Index+1]}
+		}
+		return nil
+	case t.Op == OpB:
+		if tgt := f.BlockByLabel(t.Target); tgt != nil {
+			return []*Block{tgt}
+		}
+		return nil
+	case t.Op == OpBC || t.Op == OpBCT:
+		var out []*Block
+		if b.Index+1 < len(f.Blocks) {
+			out = append(out, f.Blocks[b.Index+1])
+		}
+		if tgt := f.BlockByLabel(t.Target); tgt != nil {
+			out = append(out, tgt)
+		}
+		return out
+	default: // OpRet
+		return nil
+	}
+}

@@ -1,0 +1,117 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFloatInstrStringForms(t *testing.T) {
+	f := NewFunc("t")
+	b := NewBuilder(f)
+	b.Block("e")
+	mk := func(op Op, mod func(*Instr)) *Instr { return b.Emit(op, mod) }
+	cases := []struct {
+		i    *Instr
+		want string
+	}{
+		{mk(OpFAdd, func(i *Instr) { i.Def = FPR(2); i.A = FPR(0); i.B = FPR(1) }), "FA f2=f0,f1"},
+		{mk(OpFSub, func(i *Instr) { i.Def = FPR(2); i.A = FPR(0); i.B = FPR(1) }), "FS f2=f0,f1"},
+		{mk(OpFMul, func(i *Instr) { i.Def = FPR(2); i.A = FPR(0); i.B = FPR(1) }), "FM f2=f0,f1"},
+		{mk(OpFDiv, func(i *Instr) { i.Def = FPR(2); i.A = FPR(0); i.B = FPR(1) }), "FD f2=f0,f1"},
+		{mk(OpFNeg, func(i *Instr) { i.Def = FPR(2); i.A = FPR(0) }), "FNEG f2=f0"},
+		{mk(OpFMove, func(i *Instr) { i.Def = FPR(2); i.A = FPR(0) }), "FMR f2=f0"},
+		{mk(OpFCmp, func(i *Instr) { i.Def = CR(1); i.A = FPR(0); i.B = FPR(1) }), "FC cr1=f0,f1"},
+		{mk(OpFCvt, func(i *Instr) { i.Def = FPR(0); i.A = GPR(1) }), "FCVT f0=r1"},
+		{mk(OpFTrunc, func(i *Instr) { i.Def = GPR(1); i.A = FPR(0) }), "FTRUNC r1=f0"},
+		{mk(OpFLoad, func(i *Instr) { i.Def = FPR(0); i.Mem = &Mem{Sym: "a", Base: GPR(1), Off: 8} }), "LF f0=a(r1,8)"},
+		{mk(OpFStore, func(i *Instr) { i.A = FPR(0); i.Mem = &Mem{Sym: "a", Base: GPR(1), Off: 8} }), "STF a(r1,8)=f0"},
+	}
+	for _, c := range cases {
+		if got := c.i.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestFloatPredicates(t *testing.T) {
+	if !OpFLoad.IsLoad() || !OpFLoad.IsFloat() {
+		t.Error("FLoad must be a float load")
+	}
+	if !OpFStore.IsStore() || !OpFStore.NeverSpeculates() {
+		t.Error("FStore must be an unspeculatable store")
+	}
+	if !OpFCmp.IsCompare() {
+		t.Error("FCmp is a compare")
+	}
+	if OpFAdd.IsFloat() != true || OpAdd.IsFloat() {
+		t.Error("IsFloat misclassifies")
+	}
+	if FPR(3).String() != "f3" {
+		t.Errorf("FPR String = %q", FPR(3))
+	}
+	if ClassFPR.String() != "fpr" {
+		t.Errorf("ClassFPR String = %q", ClassFPR)
+	}
+}
+
+func TestFloatValidation(t *testing.T) {
+	mk := func(build func(*Builder)) error {
+		f := NewFunc("t")
+		b := NewBuilder(f)
+		b.Block("e")
+		build(b)
+		b.Ret(NoReg)
+		f.ReindexBlocks()
+		return f.Validate()
+	}
+	if err := mk(func(b *Builder) {
+		b.Emit(OpFAdd, func(i *Instr) { i.Def = GPR(0); i.A = FPR(0); i.B = FPR(1) })
+	}); err == nil || !strings.Contains(err.Error(), "destination") {
+		t.Errorf("GPR destination of FA accepted: %v", err)
+	}
+	if err := mk(func(b *Builder) {
+		b.Emit(OpFCmp, func(i *Instr) { i.Def = CR(0); i.A = GPR(0); i.B = FPR(1) })
+	}); err == nil {
+		t.Error("GPR source of FC accepted")
+	}
+	if err := mk(func(b *Builder) {
+		b.Emit(OpFLoad, func(i *Instr) { i.Def = FPR(0) })
+	}); err == nil || !strings.Contains(err.Error(), "memory operand") {
+		t.Errorf("LF without mem accepted: %v", err)
+	}
+	if err := mk(func(b *Builder) {
+		b.Emit(OpFCvt, func(i *Instr) { i.Def = FPR(0); i.A = FPR(1) })
+	}); err == nil {
+		t.Error("FCVT from FPR accepted")
+	}
+	if err := mk(func(b *Builder) {
+		b.Emit(OpFTrunc, func(i *Instr) { i.Def = FPR(0); i.A = FPR(1) })
+	}); err == nil {
+		t.Error("FTRUNC into FPR accepted")
+	}
+	// A correct float block validates.
+	if err := mk(func(b *Builder) {
+		b.Emit(OpFCvt, func(i *Instr) { i.Def = FPR(0); i.A = GPR(0) })
+		b.Emit(OpFAdd, func(i *Instr) { i.Def = FPR(1); i.A = FPR(0); i.B = FPR(0) })
+		b.Emit(OpFStore, func(i *Instr) { i.A = FPR(1); i.Mem = &Mem{Sym: "a", Base: GPR(1)} })
+	}); err != nil {
+		t.Errorf("valid float block rejected: %v", err)
+	}
+}
+
+func TestMemStringForms(t *testing.T) {
+	cases := []struct {
+		m    Mem
+		want string
+	}{
+		{Mem{Sym: "a", Base: GPR(1), Off: 4}, "a(r1,4)"},
+		{Mem{Base: GPR(1), Off: -4}, "(r1,-4)"},
+		{Mem{Sym: "a", Base: NoReg, Off: 0}, "a(,0)"},
+		{Mem{Frame: true, Base: NoReg, Off: 8}, "frame(,8)"},
+	}
+	for _, c := range cases {
+		if got := c.m.String(); got != c.want {
+			t.Errorf("Mem.String = %q, want %q", got, c.want)
+		}
+	}
+}

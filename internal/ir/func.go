@@ -1,0 +1,181 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Block is a basic block: a maximal straight-line instruction sequence.
+// Control enters at the first instruction and leaves at the last. A block
+// ends with at most one terminator (OpB, OpBC, OpRet); a block whose last
+// instruction is not a terminator, or whose terminator is a conditional
+// branch, falls through to the next block in layout order.
+type Block struct {
+	Index  int    // position in Func.Blocks, maintained by Func
+	Label  string // unique within the function; may be "" for fallthrough-only blocks
+	Instrs []*Instr
+}
+
+// Terminator returns the block's terminating instruction, or nil.
+func (b *Block) Terminator() *Instr {
+	if n := len(b.Instrs); n > 0 && b.Instrs[n-1].Op.IsTerminator() {
+		return b.Instrs[n-1]
+	}
+	return nil
+}
+
+// Body returns the block's instructions excluding the terminator.
+func (b *Block) Body() []*Instr {
+	if t := b.Terminator(); t != nil {
+		return b.Instrs[:len(b.Instrs)-1]
+	}
+	return b.Instrs
+}
+
+// Remove deletes instruction i from the block; it reports whether i was
+// present.
+func (b *Block) Remove(i *Instr) bool {
+	for k, in := range b.Instrs {
+		if in == i {
+			b.Instrs = append(b.Instrs[:k], b.Instrs[k+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (b *Block) String() string {
+	if b.Label != "" {
+		return b.Label
+	}
+	return fmt.Sprintf("b%d", b.Index)
+}
+
+// Func is a function: an ordered list of basic blocks. Block order is the
+// code layout, so fallthrough edges go to the next block in Blocks.
+type Func struct {
+	Name string
+	// Params are the registers holding the arguments on entry,
+	// in declaration order.
+	Params []Reg
+	Blocks []*Block
+	// FrameWords is the size of the function's private frame in words
+	// (spill slots allocated by the register allocator).
+	FrameWords int64
+
+	nextID  int
+	nextReg [NumClasses]int32
+}
+
+// NewFunc returns an empty function.
+func NewFunc(name string) *Func { return &Func{Name: name} }
+
+// NewBlock appends a new empty block with the given label.
+func (f *Func) NewBlock(label string) *Block {
+	b := &Block{Index: len(f.Blocks), Label: label}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// NewInstr allocates an instruction with a fresh ID. The instruction is
+// not placed into any block.
+func (f *Func) NewInstr(op Op) *Instr {
+	i := &Instr{ID: f.nextID, Op: op, Def: NoReg, Def2: NoReg, A: NoReg, B: NoReg}
+	f.nextID++
+	return i
+}
+
+// CloneInstr deep-copies an instruction, assigning a fresh ID.
+func (f *Func) CloneInstr(i *Instr) *Instr {
+	c := i.Clone(f.nextID)
+	f.nextID++
+	return c
+}
+
+// NumInstrIDs returns an upper bound on instruction IDs in the function,
+// suitable for sizing dense ID-indexed tables.
+func (f *Func) NumInstrIDs() int { return f.nextID }
+
+// NewReg returns a fresh symbolic register of the given class.
+func (f *Func) NewReg(c RegClass) Reg {
+	r := Reg{Class: c, Num: f.nextReg[c]}
+	f.nextReg[c]++
+	return r
+}
+
+// NoteReg records that register r is in use, so NewReg never returns it.
+// Builders that hand-pick register numbers (e.g. the asm parser and the
+// paper's Figure 2 construction) call this for every register they touch.
+func (f *Func) NoteReg(r Reg) {
+	if r.Valid() && r.Num >= f.nextReg[r.Class] {
+		f.nextReg[r.Class] = r.Num + 1
+	}
+}
+
+// NumRegs returns the number of registers of class c the function uses
+// (one past the highest allocated number).
+func (f *Func) NumRegs(c RegClass) int { return int(f.nextReg[c]) }
+
+// ReindexBlocks refreshes Block.Index after blocks were inserted,
+// removed, or reordered.
+func (f *Func) ReindexBlocks() {
+	for i, b := range f.Blocks {
+		b.Index = i
+	}
+}
+
+// BlockByLabel returns the block with the given label, or nil.
+func (f *Func) BlockByLabel(label string) *Block {
+	for _, b := range f.Blocks {
+		if b.Label == label {
+			return b
+		}
+	}
+	return nil
+}
+
+// Instrs calls fn for every instruction in layout order.
+func (f *Func) Instrs(fn func(*Block, *Instr)) {
+	for _, b := range f.Blocks {
+		for _, i := range b.Instrs {
+			fn(b, i)
+		}
+	}
+}
+
+// NumInstrs returns the total instruction count.
+func (f *Func) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// String renders the function as assembly text (parseable by package asm).
+func (f *Func) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s", f.Name)
+	for _, p := range f.Params {
+		fmt.Fprintf(&sb, " %s", p)
+	}
+	if f.FrameWords > 0 {
+		fmt.Fprintf(&sb, " frame=%d", f.FrameWords)
+	}
+	sb.WriteString(":\n")
+	for _, b := range f.Blocks {
+		if b.Label != "" {
+			fmt.Fprintf(&sb, "%s:\n", b.Label)
+		}
+		for _, i := range b.Instrs {
+			sb.WriteString("\t")
+			sb.WriteString(i.String())
+			if i.Comment != "" {
+				sb.WriteString("\t; ")
+				sb.WriteString(i.Comment)
+			}
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,189 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Mem describes a memory reference: the effective address is the value of
+// Base plus Off, optionally annotated with the symbol the front end knows
+// the access falls within (used for memory disambiguation). Frame
+// references address the function's private frame instead (spill slots
+// introduced by the register allocator); they use a constant offset and
+// no base register, so they disambiguate exactly.
+type Mem struct {
+	Sym   string // "" when the symbol is unknown (pointer dereference)
+	Base  Reg    // NoReg for absolute addressing
+	Off   int64  // byte displacement; also the post-increment of LU/STU
+	Frame bool   // frame-local slot; Sym must be "" and Base NoReg
+}
+
+func (m *Mem) String() string {
+	base := ""
+	if m.Base.Valid() {
+		base = m.Base.String()
+	}
+	if m.Frame {
+		return fmt.Sprintf("frame(%s,%d)", base, m.Off)
+	}
+	if m.Sym != "" {
+		return fmt.Sprintf("%s(%s,%d)", m.Sym, base, m.Off)
+	}
+	return fmt.Sprintf("(%s,%d)", base, m.Off)
+}
+
+// Instr is a single machine instruction. Instructions are identified by
+// ID, unique within their function and stable across scheduling, so that
+// dependence information survives code motion.
+type Instr struct {
+	ID int
+	Op Op
+
+	Def  Reg // primary destination; NoReg if none
+	Def2 Reg // secondary destination (updated base of LU/STU); NoReg if none
+	A, B Reg // register sources; NoReg if unused
+
+	Imm    int64  // immediate operand of HasImm ops
+	Mem    *Mem   // memory operand of loads and stores
+	Target string // branch target label, or callee name for OpCall
+
+	CRBit  CRBit // condition bit tested by OpBC
+	OnTrue bool  // OpBC: branch when the bit is set ("BT") vs clear ("BF")
+
+	// CallArgs lists the registers a call passes to the callee, in
+	// parameter order. They are uses of the call instruction, so code
+	// computing arguments cannot be reordered past it.
+	CallArgs []Reg
+
+	Comment string // free-form annotation carried through scheduling
+}
+
+// Uses appends the registers read by i to dst and returns it.
+func (i *Instr) Uses(dst []Reg) []Reg {
+	if i.A.Valid() {
+		dst = append(dst, i.A)
+	}
+	if i.B.Valid() {
+		dst = append(dst, i.B)
+	}
+	if i.Mem != nil && i.Mem.Base.Valid() {
+		dst = append(dst, i.Mem.Base)
+	}
+	dst = append(dst, i.CallArgs...)
+	return dst
+}
+
+// Defs appends the registers written by i to dst and returns it.
+func (i *Instr) Defs(dst []Reg) []Reg {
+	if i.Def.Valid() {
+		dst = append(dst, i.Def)
+	}
+	if i.Def2.Valid() {
+		dst = append(dst, i.Def2)
+	}
+	return dst
+}
+
+// UsesReg reports whether i reads r.
+func (i *Instr) UsesReg(r Reg) bool {
+	if (i.A.Valid() && i.A == r) ||
+		(i.B.Valid() && i.B == r) ||
+		(i.Mem != nil && i.Mem.Base.Valid() && i.Mem.Base == r) {
+		return true
+	}
+	for _, a := range i.CallArgs {
+		if a == r {
+			return true
+		}
+	}
+	return false
+}
+
+// DefsReg reports whether i writes r.
+func (i *Instr) DefsReg(r Reg) bool {
+	return (i.Def.Valid() && i.Def == r) || (i.Def2.Valid() && i.Def2 == r)
+}
+
+// Clone returns a deep copy of i with the given fresh ID.
+func (i *Instr) Clone(id int) *Instr {
+	c := *i
+	c.ID = id
+	if i.Mem != nil {
+		m := *i.Mem
+		c.Mem = &m
+	}
+	if i.CallArgs != nil {
+		c.CallArgs = append([]Reg(nil), i.CallArgs...)
+	}
+	return &c
+}
+
+// String renders i in the paper's assembly syntax, e.g.
+// "LU r0,r31=a(r31,8)" or "BF CL.4,cr7,gt".
+func (i *Instr) String() string {
+	var b strings.Builder
+	switch i.Op {
+	case OpNop:
+		b.WriteString("NOP")
+	case OpLI:
+		fmt.Fprintf(&b, "LI %s=%d", i.Def, i.Imm)
+	case OpLR:
+		fmt.Fprintf(&b, "LR %s=%s", i.Def, i.A)
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr:
+		fmt.Fprintf(&b, "%s %s=%s,%s", i.Op, i.Def, i.A, i.B)
+	case OpAddI, OpMulI, OpAndI, OpOrI, OpXorI, OpShlI, OpShrI:
+		fmt.Fprintf(&b, "%s %s=%s,%d", i.Op, i.Def, i.A, i.Imm)
+	case OpNeg, OpNot:
+		fmt.Fprintf(&b, "%s %s=%s", i.Op, i.Def, i.A)
+	case OpCmp:
+		fmt.Fprintf(&b, "C %s=%s,%s", i.Def, i.A, i.B)
+	case OpCmpI:
+		fmt.Fprintf(&b, "CI %s=%s,%d", i.Def, i.A, i.Imm)
+	case OpLoad:
+		fmt.Fprintf(&b, "L %s=%s", i.Def, i.Mem)
+	case OpLoadU:
+		fmt.Fprintf(&b, "LU %s,%s=%s", i.Def, i.Def2, i.Mem)
+	case OpStore:
+		fmt.Fprintf(&b, "ST %s=%s", i.Mem, i.A)
+	case OpStoreU:
+		fmt.Fprintf(&b, "STU %s,%s=%s", i.Mem, i.Def2, i.A)
+	case OpB:
+		fmt.Fprintf(&b, "B %s", i.Target)
+	case OpBC:
+		mn := "BF"
+		if i.OnTrue {
+			mn = "BT"
+		}
+		fmt.Fprintf(&b, "%s %s,%s,%s", mn, i.Target, i.A, i.CRBit)
+	case OpBCT:
+		fmt.Fprintf(&b, "BCT %s,%s", i.Target, i.A)
+	case OpFAdd, OpFSub, OpFMul, OpFDiv:
+		fmt.Fprintf(&b, "%s %s=%s,%s", i.Op, i.Def, i.A, i.B)
+	case OpFNeg, OpFMove, OpFCvt, OpFTrunc:
+		fmt.Fprintf(&b, "%s %s=%s", i.Op, i.Def, i.A)
+	case OpFCmp:
+		fmt.Fprintf(&b, "FC %s=%s,%s", i.Def, i.A, i.B)
+	case OpFLoad:
+		fmt.Fprintf(&b, "LF %s=%s", i.Def, i.Mem)
+	case OpFStore:
+		fmt.Fprintf(&b, "STF %s=%s", i.Mem, i.A)
+	case OpCall:
+		if i.Def.Valid() {
+			fmt.Fprintf(&b, "CALL %s=%s", i.Def, i.Target)
+		} else {
+			fmt.Fprintf(&b, "CALL %s", i.Target)
+		}
+		for _, a := range i.CallArgs {
+			fmt.Fprintf(&b, ",%s", a)
+		}
+	case OpRet:
+		if i.A.Valid() {
+			fmt.Fprintf(&b, "RET %s", i.A)
+		} else {
+			b.WriteString("RET")
+		}
+	default:
+		fmt.Fprintf(&b, "%s ?", i.Op)
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// WordSize is the size in bytes of a memory word. The paper's example
+// traverses an int array with byte displacements 4 and 8, so words are
+// four bytes.
+const WordSize = 4
+
+// Symbol is a statically allocated global memory object (an array of
+// words). The loader in package sim assigns each symbol a base address.
+type Symbol struct {
+	Name  string
+	Words int64   // size in words
+	Init  []int64 // optional initial values (len <= Words)
+}
+
+// Program is a compilation unit: functions plus global data.
+type Program struct {
+	Funcs []*Func
+	Syms  []*Symbol
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program { return &Program{} }
+
+// AddFunc appends f; it replaces any existing function of the same name.
+func (p *Program) AddFunc(f *Func) {
+	for i, g := range p.Funcs {
+		if g.Name == f.Name {
+			p.Funcs[i] = f
+			return
+		}
+	}
+	p.Funcs = append(p.Funcs, f)
+}
+
+// Func returns the function with the given name, or nil.
+func (p *Program) Func(name string) *Func {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// AddSym defines a global symbol of the given size in words.
+func (p *Program) AddSym(name string, words int64) *Symbol {
+	s := &Symbol{Name: name, Words: words}
+	p.Syms = append(p.Syms, s)
+	return s
+}
+
+// Sym returns the symbol with the given name, or nil.
+func (p *Program) Sym(name string) *Symbol {
+	for _, s := range p.Syms {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// String renders the whole program as assembly text.
+func (p *Program) String() string {
+	var sb strings.Builder
+	for _, s := range p.Syms {
+		fmt.Fprintf(&sb, "data %s %d", s.Name, s.Words)
+		if len(s.Init) > 0 {
+			sb.WriteString(" =")
+			for _, v := range s.Init {
+				fmt.Fprintf(&sb, " %d", v)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	for _, f := range p.Funcs {
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}

@@ -1,0 +1,103 @@
+// Package ir defines the intermediate representation scheduled by this
+// library: a pseudo RISC System/6000 instruction set organised into basic
+// blocks and functions, in the style of Figure 2 of Bernstein & Rodeh,
+// "Global Instruction Scheduling for Superscalar Machines" (PLDI 1991).
+//
+// Registers are symbolic and unbounded (the paper schedules before
+// register allocation); two register classes exist, general purpose
+// registers (r0, r1, ...) and condition register fields (cr0, cr1, ...)
+// written by compares and read by conditional branches.
+package ir
+
+import "fmt"
+
+// RegClass distinguishes the machine's register files.
+type RegClass uint8
+
+const (
+	// ClassGPR is the general purpose (fixed point) register file.
+	ClassGPR RegClass = iota
+	// ClassCR is the condition register file written by compares.
+	ClassCR
+	// ClassFPR is the floating point register file. The paper's
+	// evaluation is fixed-point only, but its §2.1 machine model
+	// carries the floating point delays, so the register file and
+	// instructions exist here too.
+	ClassFPR
+
+	// NumClasses is the number of register classes.
+	NumClasses = 3
+)
+
+func (c RegClass) String() string {
+	switch c {
+	case ClassGPR:
+		return "gpr"
+	case ClassCR:
+		return "cr"
+	case ClassFPR:
+		return "fpr"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Reg names a symbolic register. Registers are unbounded; the zero value
+// is r0, which is an ordinary register. Use NoReg for "no register".
+type Reg struct {
+	Class RegClass
+	Num   int32
+}
+
+// NoReg is the absent register.
+var NoReg = Reg{Class: ClassGPR, Num: -1}
+
+// Valid reports whether r names an actual register.
+func (r Reg) Valid() bool { return r.Num >= 0 }
+
+// GPR returns the n-th general purpose register.
+func GPR(n int) Reg { return Reg{Class: ClassGPR, Num: int32(n)} }
+
+// CR returns the n-th condition register field.
+func CR(n int) Reg { return Reg{Class: ClassCR, Num: int32(n)} }
+
+// FPR returns the n-th floating point register.
+func FPR(n int) Reg { return Reg{Class: ClassFPR, Num: int32(n)} }
+
+func (r Reg) String() string {
+	if !r.Valid() {
+		return "<none>"
+	}
+	switch r.Class {
+	case ClassGPR:
+		return fmt.Sprintf("r%d", r.Num)
+	case ClassCR:
+		return fmt.Sprintf("cr%d", r.Num)
+	case ClassFPR:
+		return fmt.Sprintf("f%d", r.Num)
+	}
+	return fmt.Sprintf("%s%d", r.Class, r.Num)
+}
+
+// CRBit selects the condition register bit tested by a conditional branch.
+type CRBit uint8
+
+const (
+	// BitLT is set when the compare's first operand was smaller.
+	BitLT CRBit = iota
+	// BitGT is set when the compare's first operand was greater.
+	BitGT
+	// BitEQ is set when the operands compared equal.
+	BitEQ
+)
+
+func (b CRBit) String() string {
+	switch b {
+	case BitLT:
+		return "lt"
+	case BitGT:
+		return "gt"
+	case BitEQ:
+		return "eq"
+	}
+	return fmt.Sprintf("bit(%d)", uint8(b))
+}

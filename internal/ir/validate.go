@@ -1,0 +1,281 @@
+package ir
+
+import "fmt"
+
+// Validate checks structural invariants of the function:
+//
+//   - block indices match their position,
+//   - labels are unique and every branch target resolves,
+//   - terminators appear only as the last instruction of a block,
+//   - the last block does not fall through past the end of the function,
+//   - instruction IDs are unique,
+//   - operand register classes match the opcode (compares define CRs,
+//     conditional branches test CRs, everything else works on GPRs).
+//
+// It returns the first violation found, or nil.
+func (f *Func) Validate() error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("%s: function has no blocks", f.Name)
+	}
+	labels := make(map[string]*Block)
+	for idx, b := range f.Blocks {
+		if b.Index != idx {
+			return fmt.Errorf("%s: block %q has index %d, want %d (call ReindexBlocks)", f.Name, b, b.Index, idx)
+		}
+		if b.Label != "" {
+			if _, dup := labels[b.Label]; dup {
+				return fmt.Errorf("%s: duplicate label %q", f.Name, b.Label)
+			}
+			labels[b.Label] = b
+		}
+	}
+	seen := make(map[int]bool)
+	for _, b := range f.Blocks {
+		for k, i := range b.Instrs {
+			if seen[i.ID] {
+				return fmt.Errorf("%s: duplicate instruction ID %d (%s)", f.Name, i.ID, i)
+			}
+			seen[i.ID] = true
+			if i.Op.IsTerminator() && k != len(b.Instrs)-1 {
+				return fmt.Errorf("%s: block %s: terminator %s not last", f.Name, b, i)
+			}
+			if err := f.validateInstr(b, i, labels); err != nil {
+				return err
+			}
+		}
+	}
+	last := f.Blocks[len(f.Blocks)-1]
+	if t := last.Terminator(); t == nil || t.Op == OpBC {
+		return fmt.Errorf("%s: last block %s falls through past the end of the function", f.Name, last)
+	}
+	return nil
+}
+
+func (f *Func) validateMem(i *Instr, bad func(string, ...any) error) error {
+	m := i.Mem
+	if !m.Frame {
+		return nil
+	}
+	if m.Sym != "" || m.Base.Valid() {
+		return bad("frame reference must use a constant offset only")
+	}
+	if m.Off < 0 || m.Off+WordSize > f.FrameWords*WordSize {
+		return bad("frame offset %d outside frame of %d words", m.Off, f.FrameWords)
+	}
+	return nil
+}
+
+func (f *Func) validateInstr(b *Block, i *Instr, labels map[string]*Block) error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("%s: block %s: %s: %s", f.Name, b, i, fmt.Sprintf(format, args...))
+	}
+	wantClass := func(r Reg, c RegClass, what string) error {
+		if !r.Valid() {
+			return bad("missing %s", what)
+		}
+		if r.Class != c {
+			return bad("%s %s has class %s, want %s", what, r, r.Class, c)
+		}
+		return nil
+	}
+	switch i.Op {
+	case OpNop:
+	case OpLI:
+		return wantClass(i.Def, ClassGPR, "destination")
+	case OpLR, OpNeg, OpNot:
+		if err := wantClass(i.Def, ClassGPR, "destination"); err != nil {
+			return err
+		}
+		return wantClass(i.A, ClassGPR, "source")
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr:
+		if err := wantClass(i.Def, ClassGPR, "destination"); err != nil {
+			return err
+		}
+		if err := wantClass(i.A, ClassGPR, "first source"); err != nil {
+			return err
+		}
+		return wantClass(i.B, ClassGPR, "second source")
+	case OpAddI, OpMulI, OpAndI, OpOrI, OpXorI, OpShlI, OpShrI:
+		if err := wantClass(i.Def, ClassGPR, "destination"); err != nil {
+			return err
+		}
+		return wantClass(i.A, ClassGPR, "source")
+	case OpCmp:
+		if err := wantClass(i.Def, ClassCR, "condition destination"); err != nil {
+			return err
+		}
+		if err := wantClass(i.A, ClassGPR, "first source"); err != nil {
+			return err
+		}
+		return wantClass(i.B, ClassGPR, "second source")
+	case OpCmpI:
+		if err := wantClass(i.Def, ClassCR, "condition destination"); err != nil {
+			return err
+		}
+		return wantClass(i.A, ClassGPR, "source")
+	case OpLoad, OpLoadU:
+		if i.Mem == nil {
+			return bad("load without memory operand")
+		}
+		if err := f.validateMem(i, bad); err != nil {
+			return err
+		}
+		if err := wantClass(i.Def, ClassGPR, "destination"); err != nil {
+			return err
+		}
+		if i.Op == OpLoadU {
+			if err := wantClass(i.Def2, ClassGPR, "updated base"); err != nil {
+				return err
+			}
+			if !i.Mem.Base.Valid() {
+				return bad("load-with-update needs a base register")
+			}
+		}
+		return nil
+	case OpStore, OpStoreU:
+		if i.Mem == nil {
+			return bad("store without memory operand")
+		}
+		if err := f.validateMem(i, bad); err != nil {
+			return err
+		}
+		if err := wantClass(i.A, ClassGPR, "stored value"); err != nil {
+			return err
+		}
+		if i.Op == OpStoreU {
+			if err := wantClass(i.Def2, ClassGPR, "updated base"); err != nil {
+				return err
+			}
+			if !i.Mem.Base.Valid() {
+				return bad("store-with-update needs a base register")
+			}
+		}
+		return nil
+	case OpFAdd, OpFSub, OpFMul, OpFDiv:
+		if err := wantClass(i.Def, ClassFPR, "destination"); err != nil {
+			return err
+		}
+		if err := wantClass(i.A, ClassFPR, "first source"); err != nil {
+			return err
+		}
+		return wantClass(i.B, ClassFPR, "second source")
+	case OpFNeg, OpFMove:
+		if err := wantClass(i.Def, ClassFPR, "destination"); err != nil {
+			return err
+		}
+		return wantClass(i.A, ClassFPR, "source")
+	case OpFCmp:
+		if err := wantClass(i.Def, ClassCR, "condition destination"); err != nil {
+			return err
+		}
+		if err := wantClass(i.A, ClassFPR, "first source"); err != nil {
+			return err
+		}
+		return wantClass(i.B, ClassFPR, "second source")
+	case OpFCvt:
+		if err := wantClass(i.Def, ClassFPR, "destination"); err != nil {
+			return err
+		}
+		return wantClass(i.A, ClassGPR, "source")
+	case OpFTrunc:
+		if err := wantClass(i.Def, ClassGPR, "destination"); err != nil {
+			return err
+		}
+		return wantClass(i.A, ClassFPR, "source")
+	case OpFLoad:
+		if i.Mem == nil {
+			return bad("load without memory operand")
+		}
+		if err := f.validateMem(i, bad); err != nil {
+			return err
+		}
+		return wantClass(i.Def, ClassFPR, "destination")
+	case OpFStore:
+		if i.Mem == nil {
+			return bad("store without memory operand")
+		}
+		if err := f.validateMem(i, bad); err != nil {
+			return err
+		}
+		return wantClass(i.A, ClassFPR, "stored value")
+	case OpB:
+		if labels[i.Target] == nil {
+			return bad("unresolved branch target %q", i.Target)
+		}
+	case OpBC:
+		if labels[i.Target] == nil {
+			return bad("unresolved branch target %q", i.Target)
+		}
+		if err := wantClass(i.A, ClassCR, "condition source"); err != nil {
+			return err
+		}
+		if b.Index == len(f.Blocks)-1 {
+			return bad("conditional branch in the last block falls through past the end")
+		}
+	case OpBCT:
+		if labels[i.Target] == nil {
+			return bad("unresolved branch target %q", i.Target)
+		}
+		if err := wantClass(i.A, ClassGPR, "counter"); err != nil {
+			return err
+		}
+		if i.Def != i.A {
+			return bad("counter branch must decrement its own counter (Def == A)")
+		}
+		if b.Index == len(f.Blocks)-1 {
+			return bad("counter branch in the last block falls through past the end")
+		}
+	case OpCall:
+		if i.Target == "" {
+			return bad("call without target")
+		}
+		for k, a := range i.CallArgs {
+			if err := wantClass(a, ClassGPR, fmt.Sprintf("argument %d", k)); err != nil {
+				return err
+			}
+		}
+		if i.Def.Valid() && i.Def.Class != ClassGPR {
+			return bad("call result %s is not a GPR", i.Def)
+		}
+	case OpRet:
+		if i.A.Valid() && i.A.Class != ClassGPR {
+			return bad("return value %s is not a GPR", i.A)
+		}
+	default:
+		return bad("unknown opcode")
+	}
+	return nil
+}
+
+// Validate checks every function in the program and that call targets
+// resolve to defined functions or recognised builtins.
+func (p *Program) Validate() error {
+	for _, f := range p.Funcs {
+		if err := f.Validate(); err != nil {
+			return err
+		}
+		var err error
+		f.Instrs(func(b *Block, i *Instr) {
+			if err != nil || i.Op != OpCall {
+				return
+			}
+			if p.Func(i.Target) == nil && !IsBuiltin(i.Target) {
+				err = fmt.Errorf("%s: call to undefined function %q", f.Name, i.Target)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IsBuiltin reports whether name is a runtime-provided callee that the
+// simulator implements directly (no IR body required).
+func IsBuiltin(name string) bool {
+	switch name {
+	case "print", "putchar", "abort":
+		return true
+	}
+	return false
+}

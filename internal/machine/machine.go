@@ -1,0 +1,166 @@
+// Package machine provides the parametric superscalar machine description
+// of §2 of the paper: a collection of functional units of m types with
+// n_1..n_m units each, per-instruction execution times, and integer
+// delays on data dependence edges. The RS6K preset models the IBM RISC
+// System/6000 of §2.1; wider presets support the paper's closing remark
+// that larger payoffs are expected on machines with more units.
+package machine
+
+import (
+	"fmt"
+
+	"gsched/internal/ir"
+)
+
+// UnitType classifies functional units.
+type UnitType uint8
+
+const (
+	// Fixed is the fixed point (integer) unit type.
+	Fixed UnitType = iota
+	// Float is the floating point unit type. The instruction set in
+	// package ir is fixed-point only (as in the paper's evaluation),
+	// but the parameters are retained for completeness.
+	Float
+	// Branch is the branch unit type.
+	Branch
+
+	// NumUnitTypes is the number of functional unit types (the
+	// paper's m).
+	NumUnitTypes = 3
+)
+
+func (t UnitType) String() string {
+	switch t {
+	case Fixed:
+		return "fixed"
+	case Float:
+		return "float"
+	case Branch:
+		return "branch"
+	}
+	return fmt.Sprintf("unit(%d)", uint8(t))
+}
+
+// Desc is the parametric description of a machine.
+type Desc struct {
+	Name string
+
+	// NumUnits[t] is the number of functional units of type t (the
+	// paper's n_1..n_m). Each unit issues at most one instruction per
+	// cycle.
+	NumUnits [NumUnitTypes]int
+
+	// Execution times in cycles. Most instructions take one cycle;
+	// multiply and divide are multi-cycle as on the RS/6000.
+	MulTime int
+	DivTime int
+
+	// The four delay kinds of §2.1, in cycles:
+	LoadDelay           int // load result -> any use of the loaded value
+	CmpBranchDelay      int // fixed point compare -> dependent branch
+	FloatDelay          int // floating point op -> use of its result
+	FloatCmpBranchDelay int // floating point compare -> dependent branch
+
+	// TakenOnlyBranchDelay switches the simulator to the machine's
+	// actual behaviour described in the paper's footnote 2: "usually
+	// the three cycle delay between a fixed point compare and the
+	// respective branch instruction is encountered only when the
+	// branch is taken". The default (false) charges the delay whether
+	// the branch is taken or not, which is the simplification the
+	// paper adopts for its estimates. The scheduler always plans with
+	// the simplified model; this flag only changes measurement.
+	TakenOnlyBranchDelay bool
+}
+
+// RS6K returns the RISC System/6000 model of §2.1: one fixed point, one
+// floating point and one branch unit; delayed loads of one cycle; a
+// three cycle compare-to-branch delay (charged whether the branch is
+// taken or not, per the paper's footnote 2).
+func RS6K() *Desc {
+	return &Desc{
+		Name:                "rs6k",
+		NumUnits:            [NumUnitTypes]int{Fixed: 1, Float: 1, Branch: 1},
+		MulTime:             5,
+		DivTime:             19,
+		LoadDelay:           1,
+		CmpBranchDelay:      3,
+		FloatDelay:          1,
+		FloatCmpBranchDelay: 5,
+	}
+}
+
+// Superscalar returns an RS6K-delay machine with nFixed fixed point units
+// and nBranch branch units, for the "larger number of computational
+// units" experiments.
+func Superscalar(nFixed, nBranch int) *Desc {
+	d := RS6K()
+	d.Name = fmt.Sprintf("ss%dx%d", nFixed, nBranch)
+	d.NumUnits[Fixed] = nFixed
+	d.NumUnits[Branch] = nBranch
+	return d
+}
+
+// Unit returns the functional unit type that executes op.
+func (d *Desc) Unit(op ir.Op) UnitType {
+	if op.IsBranch() || op == ir.OpRet {
+		return Branch
+	}
+	if op.IsFloat() {
+		return Float
+	}
+	return Fixed
+}
+
+// Exec returns the execution time of op in cycles (the paper's t >= 1).
+func (d *Desc) Exec(op ir.Op) int {
+	switch op {
+	case ir.OpMul, ir.OpMulI:
+		return d.MulTime
+	case ir.OpDiv, ir.OpRem, ir.OpFDiv:
+		return d.DivTime
+	}
+	return 1
+}
+
+// Delay returns the pipeline delay d >= 0 assigned to the flow dependence
+// edge from prod to cons through register r (§2: if prod starts at k and
+// takes t cycles, cons must not start before k + t + Delay). Only
+// definition-to-use edges carry non-zero delays.
+func (d *Desc) Delay(prod, cons *ir.Instr, r ir.Reg) int {
+	if prod.Op == ir.OpFCmp && cons.Op == ir.OpBC {
+		return d.FloatCmpBranchDelay
+	}
+	if prod.Op.IsFloat() && prod.Op != ir.OpFStore {
+		// A floating point result (including a float load) reaches its
+		// consumer after the float delay (§2.1's third delay kind).
+		return d.FloatDelay
+	}
+	if prod.Op.IsLoad() && r == prod.Def {
+		// The delayed load applies to the loaded value; the updated
+		// base register of LU is available without extra delay.
+		return d.LoadDelay
+	}
+	if prod.Op.IsCompare() && cons.Op == ir.OpBC {
+		return d.CmpBranchDelay
+	}
+	return 0
+}
+
+// MaxDelay returns an upper bound on any delay the machine can impose,
+// used to size lookahead windows.
+func (d *Desc) MaxDelay() int {
+	m := d.LoadDelay
+	for _, v := range []int{d.CmpBranchDelay, d.FloatDelay, d.FloatCmpBranchDelay} {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func (d *Desc) String() string {
+	return fmt.Sprintf("%s(fixed=%d float=%d branch=%d load+%d cmp->br+%d)",
+		d.Name, d.NumUnits[Fixed], d.NumUnits[Float], d.NumUnits[Branch],
+		d.LoadDelay, d.CmpBranchDelay)
+}

@@ -1,0 +1,119 @@
+package machine
+
+import (
+	"testing"
+
+	"gsched/internal/ir"
+)
+
+func TestRS6KParameters(t *testing.T) {
+	d := RS6K()
+	if d.NumUnits[Fixed] != 1 || d.NumUnits[Float] != 1 || d.NumUnits[Branch] != 1 {
+		t.Errorf("RS6K units = %v, want one of each (§2.1)", d.NumUnits)
+	}
+	if d.LoadDelay != 1 {
+		t.Errorf("delayed load = %d, want 1", d.LoadDelay)
+	}
+	if d.CmpBranchDelay != 3 {
+		t.Errorf("compare->branch = %d, want 3", d.CmpBranchDelay)
+	}
+	if d.FloatDelay != 1 || d.FloatCmpBranchDelay != 5 {
+		t.Errorf("float delays = %d/%d, want 1/5", d.FloatDelay, d.FloatCmpBranchDelay)
+	}
+}
+
+func TestSuperscalarPreset(t *testing.T) {
+	d := Superscalar(4, 2)
+	if d.NumUnits[Fixed] != 4 || d.NumUnits[Branch] != 2 {
+		t.Errorf("units = %v", d.NumUnits)
+	}
+	if d.CmpBranchDelay != RS6K().CmpBranchDelay {
+		t.Error("wider machines keep RS6K delays")
+	}
+	if d.Name != "ss4x2" {
+		t.Errorf("name = %q", d.Name)
+	}
+}
+
+func TestUnitAssignment(t *testing.T) {
+	d := RS6K()
+	for op, want := range map[ir.Op]UnitType{
+		ir.OpAdd:  Fixed,
+		ir.OpLoad: Fixed,
+		ir.OpCmp:  Fixed,
+		ir.OpB:    Branch,
+		ir.OpBC:   Branch,
+		ir.OpRet:  Branch,
+		ir.OpCall: Fixed,
+	} {
+		if got := d.Unit(op); got != want {
+			t.Errorf("Unit(%s) = %s, want %s", op, got, want)
+		}
+	}
+}
+
+func TestExecTimes(t *testing.T) {
+	d := RS6K()
+	if d.Exec(ir.OpAdd) != 1 || d.Exec(ir.OpLoad) != 1 || d.Exec(ir.OpBC) != 1 {
+		t.Error("single-cycle ops wrong")
+	}
+	if d.Exec(ir.OpMul) != d.MulTime || d.Exec(ir.OpMulI) != d.MulTime {
+		t.Error("multiply time wrong")
+	}
+	if d.Exec(ir.OpDiv) != d.DivTime || d.Exec(ir.OpRem) != d.DivTime {
+		t.Error("divide time wrong")
+	}
+	if d.Exec(ir.OpMul) <= 1 || d.Exec(ir.OpDiv) <= d.Exec(ir.OpMul) {
+		t.Error("multi-cycle ordering: div > mul > 1 expected")
+	}
+}
+
+func TestDelaySemantics(t *testing.T) {
+	d := RS6K()
+	mkLoad := func() *ir.Instr {
+		return &ir.Instr{Op: ir.OpLoad, Def: ir.GPR(1), Def2: ir.NoReg, A: ir.NoReg, B: ir.NoReg,
+			Mem: &ir.Mem{Sym: "a", Base: ir.GPR(2)}}
+	}
+	mkLU := func() *ir.Instr {
+		return &ir.Instr{Op: ir.OpLoadU, Def: ir.GPR(1), Def2: ir.GPR(2), A: ir.NoReg, B: ir.NoReg,
+			Mem: &ir.Mem{Sym: "a", Base: ir.GPR(2)}}
+	}
+	cmp := &ir.Instr{Op: ir.OpCmp, Def: ir.CR(0), Def2: ir.NoReg, A: ir.GPR(1), B: ir.GPR(2)}
+	bc := &ir.Instr{Op: ir.OpBC, Def: ir.NoReg, Def2: ir.NoReg, A: ir.CR(0), B: ir.NoReg}
+	add := &ir.Instr{Op: ir.OpAdd, Def: ir.GPR(3), Def2: ir.NoReg, A: ir.GPR(1), B: ir.GPR(2)}
+
+	if got := d.Delay(mkLoad(), add, ir.GPR(1)); got != 1 {
+		t.Errorf("load->use delay = %d, want 1", got)
+	}
+	// The LU's updated base is NOT subject to the load delay.
+	if got := d.Delay(mkLU(), add, ir.GPR(2)); got != 0 {
+		t.Errorf("LU base-update delay = %d, want 0", got)
+	}
+	if got := d.Delay(mkLU(), add, ir.GPR(1)); got != 1 {
+		t.Errorf("LU value delay = %d, want 1", got)
+	}
+	if got := d.Delay(cmp, bc, ir.CR(0)); got != 3 {
+		t.Errorf("cmp->branch delay = %d, want 3", got)
+	}
+	// Compare feeding a non-branch carries no delay.
+	if got := d.Delay(cmp, add, ir.CR(0)); got != 0 {
+		t.Errorf("cmp->alu delay = %d, want 0", got)
+	}
+	if got := d.Delay(add, bc, ir.GPR(3)); got != 0 {
+		t.Errorf("alu->branch delay = %d, want 0", got)
+	}
+}
+
+func TestMaxDelay(t *testing.T) {
+	d := RS6K()
+	if got := d.MaxDelay(); got != 5 {
+		t.Errorf("MaxDelay = %d, want 5 (float compare)", got)
+	}
+}
+
+func TestStringIncludesShape(t *testing.T) {
+	s := Superscalar(2, 1).String()
+	if s == "" || s == "ss2x1" {
+		t.Errorf("String() too terse: %q", s)
+	}
+}

@@ -1,0 +1,153 @@
+package minic
+
+import "strconv"
+
+var keywords = map[string]Kind{
+	"int": KwInt, "void": KwVoid, "if": KwIf, "else": KwElse,
+	"while": KwWhile, "for": KwFor, "do": KwDo, "return": KwReturn,
+	"break": KwBreak, "continue": KwContinue,
+}
+
+// Lex tokenises src, returning all tokens including a final EOF.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	emit := func(k Kind, text string, num int64, c int) {
+		toks = append(toks, Token{Kind: k, Text: text, Num: num, Line: line, Col: c})
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			col = 1
+			i++
+			continue
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+			col++
+			continue
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+			continue
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			i += 2
+			col += 2
+			for i+1 < len(src) && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+					col = 1
+				} else {
+					col++
+				}
+				i++
+			}
+			if i+1 >= len(src) {
+				return nil, errAt(line, col, "unterminated block comment")
+			}
+			i += 2
+			col += 2
+			continue
+		case isAlpha(c):
+			start, startCol := i, col
+			for i < len(src) && (isAlpha(src[i]) || isDigit(src[i])) {
+				i++
+				col++
+			}
+			word := src[start:i]
+			if k, ok := keywords[word]; ok {
+				emit(k, word, 0, startCol)
+			} else {
+				emit(IDENT, word, 0, startCol)
+			}
+			continue
+		case isDigit(c):
+			start, startCol := i, col
+			for i < len(src) && isDigit(src[i]) {
+				i++
+				col++
+			}
+			n, err := strconv.ParseInt(src[start:i], 10, 64)
+			if err != nil {
+				return nil, errAt(line, startCol, "bad number %q", src[start:i])
+			}
+			emit(NUMBER, src[start:i], n, startCol)
+			continue
+		}
+
+		two := ""
+		if i+1 < len(src) {
+			two = src[i : i+2]
+		}
+		startCol := col
+		put2 := func(k Kind) {
+			emit(k, two, 0, startCol)
+			i += 2
+			col += 2
+		}
+		switch two {
+		case "<<":
+			put2(Shl)
+			continue
+		case ">>":
+			put2(Shr)
+			continue
+		case "<=":
+			put2(Le)
+			continue
+		case ">=":
+			put2(Ge)
+			continue
+		case "==":
+			put2(EqEq)
+			continue
+		case "!=":
+			put2(NotEq)
+			continue
+		case "&&":
+			put2(AndAnd)
+			continue
+		case "||":
+			put2(OrOr)
+			continue
+		case "++":
+			put2(PlusPlus)
+			continue
+		case "--":
+			put2(MinusMinus)
+			continue
+		case "+=":
+			put2(PlusAssign)
+			continue
+		case "-=":
+			put2(MinusAssign)
+			continue
+		}
+
+		one := map[byte]Kind{
+			'(': LParen, ')': RParen, '{': LBrace, '}': RBrace,
+			'[': LBracket, ']': RBracket, ';': Semi, ',': Comma,
+			'=': Assign, '+': Plus, '-': Minus, '*': Star, '/': Slash,
+			'%': Percent, '&': Amp, '|': Pipe, '^': Caret,
+			'<': Lt, '>': Gt, '!': Not, '~': Tilde,
+		}
+		if k, ok := one[c]; ok {
+			emit(k, string(c), 0, startCol)
+			i++
+			col++
+			continue
+		}
+		return nil, errAt(line, col, "unexpected character %q", string(c))
+	}
+	emit(EOF, "", 0, col)
+	return toks, nil
+}
+
+func isAlpha(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }

@@ -1,0 +1,284 @@
+package minic
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"gsched/internal/sim"
+)
+
+// Realistic whole programs, each checked against a Go reference.
+
+func TestGCD(t *testing.T) {
+	src := `
+int gcd(int a, int b) {
+    while (b != 0) {
+        int tmp = a % b;
+        a = b;
+        b = tmp;
+    }
+    if (a < 0) return 0 - a;
+    return a;
+}`
+	ref := func(a, b int64) int64 {
+		for b != 0 {
+			a, b = b, a%b
+		}
+		if a < 0 {
+			return -a
+		}
+		return a
+	}
+	for _, tc := range [][2]int64{{12, 18}, {17, 5}, {0, 7}, {48, 36}, {-12, 18}} {
+		expectRet(t, src, "gcd", ref(tc[0], tc[1]), tc[0], tc[1])
+	}
+}
+
+func TestInsertionSortProgram(t *testing.T) {
+	src := `
+int a[32] = {9, -4, 7, 0, 3, 3, 12, -8, 1, 5};
+int sortsum(int n) {
+    for (int i = 1; i < n; i++) {
+        int x = a[i];
+        int j = i - 1;
+        while (j >= 0 && a[j] > x) {
+            a[j + 1] = a[j];
+            j = j - 1;
+        }
+        a[j + 1] = x;
+    }
+    // Weighted checksum proves the order, not just the multiset.
+    int h = 0;
+    for (int i = 0; i < n; i++) h = h * 31 + a[i];
+    return h;
+}`
+	vals := []int64{9, -4, 7, 0, 3, 3, 12, -8, 1, 5}
+	sorted := append([]int64(nil), vals...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j-1] > sorted[j]; j-- {
+			sorted[j-1], sorted[j] = sorted[j], sorted[j-1]
+		}
+	}
+	var want int64
+	for _, v := range sorted {
+		want = want*31 + v
+	}
+	expectRet(t, src, "sortsum", want, int64(len(vals)))
+}
+
+func TestCollatz(t *testing.T) {
+	src := `
+int steps(int n) {
+    int c = 0;
+    while (n != 1) {
+        if (n % 2 == 0) n = n / 2;
+        else n = 3 * n + 1;
+        c++;
+    }
+    return c;
+}`
+	ref := func(n int64) int64 {
+		c := int64(0)
+		for n != 1 {
+			if n%2 == 0 {
+				n /= 2
+			} else {
+				n = 3*n + 1
+			}
+			c++
+		}
+		return c
+	}
+	for _, n := range []int64{1, 2, 6, 7, 27, 97} {
+		expectRet(t, src, "steps", ref(n), n)
+	}
+}
+
+func TestMatrixMultiply(t *testing.T) {
+	src := `
+int A[16] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+int B[16] = {2, 0, 1, 3, 1, 1, 0, 2, 4, 2, 2, 0, 0, 3, 1, 1};
+int C[16];
+int mm(int n) {
+    for (int i = 0; i < n; i++)
+        for (int j = 0; j < n; j++) {
+            int acc = 0;
+            for (int k = 0; k < n; k++)
+                acc += A[i * n + k] * B[k * n + j];
+            C[i * n + j] = acc;
+        }
+    int h = 0;
+    for (int i = 0; i < n * n; i++) h = h * 7 + C[i];
+    return h;
+}`
+	av := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	bv := []int64{2, 0, 1, 3, 1, 1, 0, 2, 4, 2, 2, 0, 0, 3, 1, 1}
+	cv := make([]int64, 16)
+	n := 4
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc int64
+			for k := 0; k < n; k++ {
+				acc += av[i*n+k] * bv[k*n+j]
+			}
+			cv[i*n+j] = acc
+		}
+	}
+	var want int64
+	for _, v := range cv {
+		want = want*7 + v
+	}
+	expectRet(t, src, "mm", want, int64(n))
+}
+
+func TestBinarySearch(t *testing.T) {
+	src := `
+int a[16] = {-9, -4, 0, 3, 7, 12, 15, 22, 40, 41};
+int find(int n, int key) {
+    int lo = 0;
+    int hi = n - 1;
+    while (lo <= hi) {
+        int mid = (lo + hi) / 2;
+        if (a[mid] == key) return mid;
+        if (a[mid] < key) lo = mid + 1;
+        else hi = mid - 1;
+    }
+    return 0 - 1;
+}`
+	vals := []int64{-9, -4, 0, 3, 7, 12, 15, 22, 40, 41}
+	for i, v := range vals {
+		expectRet(t, src, "find", int64(i), int64(len(vals)), v)
+	}
+	for _, miss := range []int64{-100, 1, 8, 99} {
+		expectRet(t, src, "find", -1, int64(len(vals)), miss)
+	}
+}
+
+// TestExpressionEvaluationMatchesGo: random arithmetic expressions over
+// two variables compile to the same value Go computes. testing/quick
+// feeds the operand values; a fixed expression pool covers precedence
+// interactions.
+func TestExpressionEvaluationMatchesGo(t *testing.T) {
+	type expr struct {
+		src string
+		ref func(a, b int64) int64
+	}
+	exprs := []expr{
+		{"a + b * 3", func(a, b int64) int64 { return a + b*3 }},
+		{"(a + b) * 3", func(a, b int64) int64 { return (a + b) * 3 }},
+		{"a - b - 1", func(a, b int64) int64 { return a - b - 1 }},
+		{"a << 2 | b & 7", func(a, b int64) int64 { return a<<2 | b&7 }},
+		{"a ^ b | a & b", func(a, b int64) int64 { return a ^ b | a&b }},
+		{"a % 13 + b / 5", func(a, b int64) int64 { return a%13 + b/5 }},
+		{"-a + ~b", func(a, b int64) int64 { return -a + ^b }},
+		{"(a < b) + (a > b) * 2 + (a == b) * 4", func(a, b int64) int64 {
+			v := int64(0)
+			if a < b {
+				v++
+			}
+			if a > b {
+				v += 2
+			}
+			if a == b {
+				v += 4
+			}
+			return v
+		}},
+		{"a >> 1 ^ b << 1", func(a, b int64) int64 { return a>>1 ^ b<<1 }},
+	}
+	progs := make([]*sim.Machine, len(exprs))
+	for i, e := range exprs {
+		p, err := Compile(fmt.Sprintf("int f(int a, int b) { return %s; }", e.src))
+		if err != nil {
+			t.Fatalf("%q: %v", e.src, err)
+		}
+		m, err := sim.Load(p)
+		if err != nil {
+			t.Fatalf("%q: %v", e.src, err)
+		}
+		progs[i] = m
+	}
+	property := func(a, b int16) bool {
+		av, bv := int64(a), int64(b)
+		for i, e := range exprs {
+			res, err := progs[i].Run("f", []int64{av, bv}, nil, sim.Options{})
+			if err != nil {
+				t.Fatalf("%q (%d,%d): %v", e.src, av, bv, err)
+			}
+			if res.Ret != e.ref(av, bv) {
+				t.Logf("%q (%d,%d) = %d, want %d", e.src, av, bv, res.Ret, e.ref(av, bv))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeeplyNestedControlFlow(t *testing.T) {
+	src := `
+int f(int a, int b) {
+    int r = 0;
+    for (int i = 0; i < 3; i++) {
+        for (int j = 0; j < 3; j++) {
+            if (i == j) {
+                if (a > b) r += i * 10 + j;
+                else r -= i + j * 10;
+            } else if (i < j) {
+                while (r > 100) r -= 7;
+                r += 1;
+            } else {
+                do { r += 2; } while (r % 2 != 0);
+            }
+        }
+    }
+    return r;
+}`
+	ref := func(a, b int64) int64 {
+		r := int64(0)
+		for i := int64(0); i < 3; i++ {
+			for j := int64(0); j < 3; j++ {
+				switch {
+				case i == j:
+					if a > b {
+						r += i*10 + j
+					} else {
+						r -= i + j*10
+					}
+				case i < j:
+					for r > 100 {
+						r -= 7
+					}
+					r++
+				default:
+					for {
+						r += 2
+						if r%2 == 0 {
+							break
+						}
+					}
+				}
+			}
+		}
+		return r
+	}
+	for _, tc := range [][2]int64{{5, 1}, {1, 5}, {0, 0}} {
+		expectRet(t, src, "f", ref(tc[0], tc[1]), tc[0], tc[1])
+	}
+}
+
+func TestPlusMinusAssignOnArrays(t *testing.T) {
+	src := `
+int g[4] = {10, 20, 30, 40};
+int f(int i) {
+    g[i] += 5;
+    g[i + 1] -= 3;
+    g[i]++;
+    g[i + 1]--;
+    return g[i] * 1000 + g[i + 1];
+}`
+	expectRet(t, src, "f", 16016, 0) // g[0]=10+5+1=16, g[1]=20-3-1=16
+}

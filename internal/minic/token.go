@@ -1,0 +1,123 @@
+// Package minic compiles a small C subset to the ir used by the
+// scheduler. It stands in for the IBM XL C front end of the paper: the
+// SPEC proxy workloads (package workload) and examples are written in
+// this language, compiled to pseudo-RS/6K code, scheduled, and run on the
+// simulator.
+//
+// The subset: global int scalars and arrays (optionally initialised),
+// functions over ints, locals, assignment, arithmetic and bitwise
+// operators, comparisons, short-circuit && and ||, if/else, while, for,
+// do-while, break/continue, return, and calls including the print
+// builtin.
+package minic
+
+import "fmt"
+
+// Kind classifies tokens.
+type Kind uint8
+
+const (
+	EOF Kind = iota
+	IDENT
+	NUMBER
+
+	// Keywords.
+	KwInt
+	KwVoid
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwDo
+	KwReturn
+	KwBreak
+	KwContinue
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	Semi
+	Comma
+	Assign // =
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Amp
+	Pipe
+	Caret
+	Shl // <<
+	Shr // >>
+	Lt
+	Gt
+	Le
+	Ge
+	EqEq
+	NotEq
+	AndAnd
+	OrOr
+	Not // !
+	Tilde
+	PlusPlus
+	MinusMinus
+	PlusAssign  // +=
+	MinusAssign // -=
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of file", IDENT: "identifier", NUMBER: "number",
+	KwInt: "'int'", KwVoid: "'void'", KwIf: "'if'", KwElse: "'else'",
+	KwWhile: "'while'", KwFor: "'for'", KwDo: "'do'", KwReturn: "'return'",
+	KwBreak: "'break'", KwContinue: "'continue'",
+	LParen: "'('", RParen: "')'", LBrace: "'{'", RBrace: "'}'",
+	LBracket: "'['", RBracket: "']'", Semi: "';'", Comma: "','",
+	Assign: "'='", Plus: "'+'", Minus: "'-'", Star: "'*'", Slash: "'/'",
+	Percent: "'%'", Amp: "'&'", Pipe: "'|'", Caret: "'^'",
+	Shl: "'<<'", Shr: "'>>'", Lt: "'<'", Gt: "'>'", Le: "'<='", Ge: "'>='",
+	EqEq: "'=='", NotEq: "'!='", AndAnd: "'&&'", OrOr: "'||'",
+	Not: "'!'", Tilde: "'~'", PlusPlus: "'++'", MinusMinus: "'--'",
+	PlusAssign: "'+='", MinusAssign: "'-='",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind Kind
+	Text string
+	Num  int64 // value of NUMBER tokens
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT:
+		return fmt.Sprintf("identifier %q", t.Text)
+	case NUMBER:
+		return fmt.Sprintf("number %d", t.Num)
+	}
+	return t.Kind.String()
+}
+
+// Error is a compile error with position information.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("minic: %d:%d: %s", e.Line, e.Col, e.Msg) }
+
+func errAt(line, col int, format string, args ...any) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

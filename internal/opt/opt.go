@@ -1,0 +1,347 @@
+// Package opt implements the machine-independent cleanups the paper's
+// base compiler (the IBM XL optimizer) performs before scheduling: local
+// copy propagation, local constant propagation and folding, and global
+// dead code elimination. The mini-C code generator deliberately emits
+// naive code (fresh temporaries, explicit copies); this pass brings it to
+// the quality a scheduler would actually see.
+package opt
+
+import (
+	"gsched/internal/cfg"
+	"gsched/internal/dataflow"
+	"gsched/internal/ir"
+)
+
+// Stats reports what the optimizer removed or rewrote.
+type Stats struct {
+	CopiesPropagated int
+	ConstsFolded     int
+	InstrsRemoved    int
+	BlocksRemoved    int
+	Passes           int
+}
+
+// Func optimizes one function to a fixed point (bounded).
+func Func(f *ir.Func) Stats {
+	var st Stats
+	for pass := 0; pass < 10; pass++ {
+		st.Passes++
+		changed := false
+		for _, b := range f.Blocks {
+			c1 := propagateLocal(f, b)
+			st.CopiesPropagated += c1.CopiesPropagated
+			st.ConstsFolded += c1.ConstsFolded
+			if c1.CopiesPropagated+c1.ConstsFolded > 0 {
+				changed = true
+			}
+		}
+		removed := eliminateDead(f)
+		st.InstrsRemoved += removed
+		if removed > 0 {
+			changed = true
+		}
+		dropped := removeUnreachable(f)
+		st.BlocksRemoved += dropped
+		if dropped > 0 {
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+	return st
+}
+
+// removeUnreachable drops blocks no path from the entry reaches. The
+// last remaining block must still end the function properly, which
+// reachability guarantees: an unreachable block cannot be a fallthrough
+// target of a reachable one.
+func removeUnreachable(f *ir.Func) int {
+	g := cfg.Build(f)
+	reach := g.Reachable(0)
+	// A reachable block that falls through keeps its layout successor
+	// alive implicitly; cfg.Build already encoded fallthrough edges, so
+	// reach is exact.
+	kept := f.Blocks[:0]
+	dropped := 0
+	for i, b := range f.Blocks {
+		if reach[i] {
+			kept = append(kept, b)
+		} else {
+			dropped++
+		}
+	}
+	if dropped > 0 {
+		f.Blocks = kept
+		f.ReindexBlocks()
+	}
+	return dropped
+}
+
+// Program optimizes every function.
+func Program(p *ir.Program) Stats {
+	var st Stats
+	for _, f := range p.Funcs {
+		s := Func(f)
+		st.CopiesPropagated += s.CopiesPropagated
+		st.ConstsFolded += s.ConstsFolded
+		st.InstrsRemoved += s.InstrsRemoved
+		if s.Passes > st.Passes {
+			st.Passes = s.Passes
+		}
+	}
+	return st
+}
+
+// propagateLocal walks one block tracking register copies and constants,
+// rewriting uses and folding constant ALU operations in place.
+func propagateLocal(f *ir.Func, b *ir.Block) Stats {
+	var st Stats
+	copyOf := make(map[ir.Reg]ir.Reg) // r -> original source
+	constOf := make(map[ir.Reg]int64) // r -> known value
+
+	kill := func(r ir.Reg) {
+		if !r.Valid() {
+			return
+		}
+		delete(copyOf, r)
+		delete(constOf, r)
+		// Any copy whose SOURCE is redefined is stale.
+		for d, s := range copyOf {
+			if s == r {
+				delete(copyOf, d)
+			}
+		}
+	}
+	resolve := func(r ir.Reg) ir.Reg {
+		if s, ok := copyOf[r]; ok {
+			return s
+		}
+		return r
+	}
+
+	for _, i := range b.Instrs {
+		// Rewrite uses through known copies.
+		rw := func(get ir.Reg, put func(ir.Reg)) {
+			if !get.Valid() {
+				return
+			}
+			if s := resolve(get); s != get {
+				put(s)
+				st.CopiesPropagated++
+			}
+		}
+		rw(i.A, func(r ir.Reg) { i.A = r })
+		rw(i.B, func(r ir.Reg) { i.B = r })
+		if i.Mem != nil {
+			rw(i.Mem.Base, func(r ir.Reg) { i.Mem.Base = r })
+		}
+		for k := range i.CallArgs {
+			k := k
+			rw(i.CallArgs[k], func(r ir.Reg) { i.CallArgs[k] = r })
+		}
+
+		// Fold constants.
+		if folded := foldConst(i, constOf); folded {
+			st.ConstsFolded++
+		}
+
+		// Update the tracked state with this instruction's effects.
+		var defs [2]ir.Reg
+		for _, d := range i.Defs(defs[:0]) {
+			kill(d)
+		}
+		switch i.Op {
+		case ir.OpLR, ir.OpFMove:
+			if i.Def != i.A {
+				copyOf[i.Def] = resolve(i.A)
+				if v, ok := constOf[resolve(i.A)]; ok {
+					constOf[i.Def] = v
+				}
+			}
+		case ir.OpLI:
+			constOf[i.Def] = i.Imm
+		}
+	}
+	return st
+}
+
+// foldConst rewrites i in place when its operands are known constants:
+// reg-reg ALU with a constant right operand becomes the immediate form,
+// fully constant operations become LI. Returns whether a rewrite
+// happened. Division and remainder are never folded into forms that
+// would hide a divide-by-zero (the original would have trapped too, but
+// folding 0/0 at compile time must not succeed).
+func foldConst(i *ir.Instr, constOf map[ir.Reg]int64) bool {
+	val := func(r ir.Reg) (int64, bool) {
+		if !r.Valid() {
+			return 0, false
+		}
+		v, ok := constOf[r]
+		return v, ok
+	}
+	switch i.Op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr:
+		av, aok := val(i.A)
+		bv, bok := val(i.B)
+		if aok && bok {
+			i.Imm = evalALU(i.Op, av, bv)
+			i.Op, i.A, i.B = ir.OpLI, ir.NoReg, ir.NoReg
+			return true
+		}
+		if bok {
+			if iop, ok := immForm(i.Op); ok {
+				imm := bv
+				if i.Op == ir.OpSub {
+					imm = -imm
+				}
+				i.Op, i.Imm, i.B = iop, imm, ir.NoReg
+				return true
+			}
+		}
+		// a + const  with commutative op and constant LEFT operand.
+		if aok && (i.Op == ir.OpAdd || i.Op == ir.OpMul || i.Op == ir.OpAnd || i.Op == ir.OpOr || i.Op == ir.OpXor) {
+			if iop, ok := immForm(i.Op); ok {
+				i.Op, i.Imm, i.A, i.B = iop, av, i.B, ir.NoReg
+				return true
+			}
+		}
+	case ir.OpAddI, ir.OpMulI, ir.OpAndI, ir.OpOrI, ir.OpXorI, ir.OpShlI, ir.OpShrI:
+		if av, ok := val(i.A); ok {
+			i.Imm = evalALUImm(i.Op, av, i.Imm)
+			i.Op, i.A = ir.OpLI, ir.NoReg
+			return true
+		}
+	case ir.OpNeg:
+		if av, ok := val(i.A); ok {
+			i.Op, i.Imm, i.A = ir.OpLI, -av, ir.NoReg
+			return true
+		}
+	case ir.OpNot:
+		if av, ok := val(i.A); ok {
+			i.Op, i.Imm, i.A = ir.OpLI, ^av, ir.NoReg
+			return true
+		}
+	case ir.OpCmp:
+		if bv, ok := val(i.B); ok {
+			i.Op, i.Imm, i.B = ir.OpCmpI, bv, ir.NoReg
+			return true
+		}
+	case ir.OpLoad, ir.OpStore:
+		// Fold a constant base register into the displacement; keeps
+		// addresses out of registers for symbol-addressed accesses.
+		if i.Mem != nil && i.Mem.Base.Valid() {
+			if v, ok := val(i.Mem.Base); ok {
+				i.Mem.Off += v
+				i.Mem.Base = ir.NoReg
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func immForm(op ir.Op) (ir.Op, bool) {
+	switch op {
+	case ir.OpAdd, ir.OpSub:
+		return ir.OpAddI, true
+	case ir.OpMul:
+		return ir.OpMulI, true
+	case ir.OpAnd:
+		return ir.OpAndI, true
+	case ir.OpOr:
+		return ir.OpOrI, true
+	case ir.OpXor:
+		return ir.OpXorI, true
+	case ir.OpShl:
+		return ir.OpShlI, true
+	case ir.OpShr:
+		return ir.OpShrI, true
+	}
+	return op, false
+}
+
+func evalALU(op ir.Op, a, b int64) int64 {
+	switch op {
+	case ir.OpAdd:
+		return a + b
+	case ir.OpSub:
+		return a - b
+	case ir.OpMul:
+		return a * b
+	case ir.OpAnd:
+		return a & b
+	case ir.OpOr:
+		return a | b
+	case ir.OpXor:
+		return a ^ b
+	case ir.OpShl:
+		return a << uint(b&63)
+	case ir.OpShr:
+		return a >> uint(b&63)
+	}
+	return 0
+}
+
+func evalALUImm(op ir.Op, a, imm int64) int64 {
+	switch op {
+	case ir.OpAddI:
+		return a + imm
+	case ir.OpMulI:
+		return a * imm
+	case ir.OpAndI:
+		return a & imm
+	case ir.OpOrI:
+		return a | imm
+	case ir.OpXorI:
+		return a ^ imm
+	case ir.OpShlI:
+		return a << uint(imm&63)
+	case ir.OpShrI:
+		return a >> uint(imm&63)
+	}
+	return 0
+}
+
+// eliminateDead removes instructions whose results are never used and
+// which have no side effects. A backwards walk per block against the
+// global live-out sets.
+func eliminateDead(f *ir.Func) int {
+	g := cfg.Build(f)
+	lv := dataflow.Compute(f, g)
+	removed := 0
+	for bi, b := range f.Blocks {
+		live := lv.Out[bi].Copy()
+		// Walk backwards; keep side-effecting instructions.
+		kept := make([]*ir.Instr, 0, len(b.Instrs))
+		for k := len(b.Instrs) - 1; k >= 0; k-- {
+			i := b.Instrs[k]
+			sideEffect := i.Op.IsStore() || i.Op == ir.OpCall || i.Op.IsTerminator() || i.Op == ir.OpNop
+			var defs [2]ir.Reg
+			needed := sideEffect
+			for _, d := range i.Defs(defs[:0]) {
+				if live.Has(d) {
+					needed = true
+				}
+			}
+			if !needed {
+				removed++
+				continue
+			}
+			for _, d := range i.Defs(defs[:0]) {
+				live.Del(d)
+			}
+			var uses [6]ir.Reg
+			for _, u := range i.Uses(uses[:0]) {
+				live.Add(u)
+			}
+			kept = append(kept, i)
+		}
+		// Reverse kept back into order.
+		for l, r := 0, len(kept)-1; l < r; l, r = l+1, r-1 {
+			kept[l], kept[r] = kept[r], kept[l]
+		}
+		b.Instrs = kept
+	}
+	return removed
+}

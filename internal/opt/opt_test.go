@@ -1,0 +1,262 @@
+package opt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gsched/internal/ir"
+	"gsched/internal/minic"
+	"gsched/internal/progen"
+	"gsched/internal/sim"
+)
+
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := minic.Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return p
+}
+
+func run(t *testing.T, p *ir.Program, entry string, args ...int64) *sim.Result {
+	t.Helper()
+	m, err := sim.Load(p)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	res, err := m.Run(entry, args, nil, sim.Options{MaxInstrs: 10_000_000})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestCopyPropagationAndDCE(t *testing.T) {
+	// Naive codegen of "return a + 1" produces LI/LR chains; after
+	// optimization only a couple of instructions should remain.
+	p := compile(t, `int f(int a) { int x = a; int y = x; return y + 1; }`)
+	before := p.Func("f").NumInstrs()
+	st := Program(p)
+	after := p.Func("f").NumInstrs()
+	if after >= before {
+		t.Errorf("no shrink: %d -> %d (%+v)", before, after, st)
+	}
+	if after > 2 { // AI + RET
+		t.Errorf("expected 2 instructions, got %d:\n%s", after, p.Func("f"))
+	}
+	if got := run(t, p, "f", 41).Ret; got != 42 {
+		t.Errorf("f(41) = %d", got)
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	p := compile(t, `int f(int a) { return (3 + 4) * 2 - a; }`)
+	Program(p)
+	// (3+4)*2 = 14 must fold to a single LI; the function body should
+	// be LI, SUB-ish, RET (the subtraction keeps a).
+	f := p.Func("f")
+	muls := 0
+	f.Instrs(func(_ *ir.Block, i *ir.Instr) {
+		if i.Op == ir.OpMul || i.Op == ir.OpMulI {
+			muls++
+		}
+	})
+	if muls != 0 {
+		t.Errorf("constant multiply not folded:\n%s", f)
+	}
+	if got := run(t, p, "f", 4).Ret; got != 10 {
+		t.Errorf("f(4) = %d, want 10", got)
+	}
+}
+
+func TestImmediateForms(t *testing.T) {
+	p := compile(t, `int f(int a) { int k = 3; return a * k + k; }`)
+	Program(p)
+	f := p.Func("f")
+	var sawMulI bool
+	f.Instrs(func(_ *ir.Block, i *ir.Instr) {
+		if i.Op == ir.OpMulI && i.Imm == 3 {
+			sawMulI = true
+		}
+		if i.Op == ir.OpMul {
+			t.Errorf("reg-reg multiply survived: %s", i)
+		}
+	})
+	if !sawMulI {
+		t.Errorf("multiply by constant not rewritten to MULI:\n%s", f)
+	}
+	if got := run(t, p, "f", 5).Ret; got != 18 {
+		t.Errorf("f(5) = %d, want 18", got)
+	}
+}
+
+func TestConstantAddressFolding(t *testing.T) {
+	p := compile(t, `int g[8] = {9, 8, 7}; int f(int a) { return g[2]; }`)
+	Program(p)
+	f := p.Func("f")
+	found := false
+	f.Instrs(func(_ *ir.Block, i *ir.Instr) {
+		if i.Op == ir.OpLoad && !i.Mem.Base.Valid() && i.Mem.Off == 8 {
+			found = true
+		}
+	})
+	if !found {
+		t.Errorf("constant index not folded into displacement:\n%s", f)
+	}
+	if got := run(t, p, "f", 0).Ret; got != 7 {
+		t.Errorf("f() = %d, want 7", got)
+	}
+}
+
+func TestDCEKeepsSideEffects(t *testing.T) {
+	p := compile(t, `
+int g;
+void f(int a) {
+    int dead = a * 100;
+    g = a;
+    print(a);
+}`)
+	Program(p)
+	f := p.Func("f")
+	var stores, calls, muls int
+	f.Instrs(func(_ *ir.Block, i *ir.Instr) {
+		switch {
+		case i.Op.IsStore():
+			stores++
+		case i.Op == ir.OpCall:
+			calls++
+		case i.Op == ir.OpMul || i.Op == ir.OpMulI:
+			muls++
+		}
+	})
+	if stores != 1 || calls != 1 {
+		t.Errorf("side effects lost: stores=%d calls=%d\n%s", stores, calls, f)
+	}
+	if muls != 0 {
+		t.Errorf("dead multiply survived:\n%s", f)
+	}
+}
+
+func TestDCEKeepsLoopCarried(t *testing.T) {
+	p := compile(t, `
+int f(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) s += i;
+    return s;
+}`)
+	Program(p)
+	if got := run(t, p, "f", 10).Ret; got != 45 {
+		t.Errorf("f(10) = %d, want 45", got)
+	}
+}
+
+func TestDivisionNeverConstFolded(t *testing.T) {
+	// 7/0 at run time must still trap after optimization (the fold
+	// must not manufacture a value or crash the compiler).
+	p := compile(t, `int f(int a) { int z = 0; return 7 / z; }`)
+	Program(p)
+	m, err := sim.Load(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run("f", []int64{1}, nil, sim.Options{}); err == nil {
+		t.Error("division by zero vanished")
+	}
+}
+
+// TestOptimizerInvariance: optimizing any generated program preserves
+// behaviour (testing/quick-driven).
+func TestOptimizerInvariance(t *testing.T) {
+	property := func(seed int64) bool {
+		if seed < 0 {
+			seed = -seed
+		}
+		pg := progen.New(seed % 100_000)
+		progA, err := minic.Compile(pg.Source)
+		if err != nil {
+			t.Fatalf("seed %d: %v", pg.Seed, err)
+		}
+		progB, err := minic.Compile(pg.Source)
+		if err != nil {
+			t.Fatalf("seed %d: %v", pg.Seed, err)
+		}
+		Program(progB)
+		for _, f := range progB.Funcs {
+			if err := f.Validate(); err != nil {
+				t.Fatalf("seed %d: invalid after opt: %v", pg.Seed, err)
+			}
+		}
+		runOne := func(p *ir.Program) *sim.Result {
+			m, err := sim.Load(p)
+			if err != nil {
+				t.Fatalf("seed %d: %v", pg.Seed, err)
+			}
+			res, err := m.Run(pg.Entry, pg.Args, nil, sim.Options{MaxInstrs: 20_000_000})
+			if err != nil {
+				t.Fatalf("seed %d: %v\n%s", pg.Seed, err, pg.Source)
+			}
+			return res
+		}
+		a, b := runOne(progA), runOne(progB)
+		if a.Ret != b.Ret || a.PrintedString() != b.PrintedString() {
+			t.Logf("seed %d: %d/%q vs %d/%q\n%s", pg.Seed, a.Ret, a.PrintedString(),
+				b.Ret, b.PrintedString(), pg.Source)
+			return false
+		}
+		return b.Instrs <= a.Instrs // optimization never adds work
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if testing.Short() {
+		cfg.MaxCount = 6
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdempotent(t *testing.T) {
+	p := compile(t, `int f(int a) { int x = a + 1; int y = x * 2; return y - x; }`)
+	Program(p)
+	first := p.Func("f").String()
+	st := Program(p)
+	if st.CopiesPropagated+st.ConstsFolded+st.InstrsRemoved != 0 {
+		t.Errorf("second run still changed things: %+v", st)
+	}
+	if p.Func("f").String() != first {
+		t.Error("second run changed the code")
+	}
+}
+
+func TestFloatMoveCopyPropagation(t *testing.T) {
+	f := ir.NewFunc("t")
+	b := ir.NewBuilder(f)
+	b.Block("e")
+	r := ir.GPR(0)
+	f.Params = []ir.Reg{r}
+	x, y, z := ir.FPR(0), ir.FPR(1), ir.FPR(2)
+	b.Emit(ir.OpFCvt, func(i *ir.Instr) { i.Def = x; i.A = r })
+	b.Emit(ir.OpFMove, func(i *ir.Instr) { i.Def = y; i.A = x })
+	b.Emit(ir.OpFAdd, func(i *ir.Instr) { i.Def = z; i.A = y; i.B = y })
+	out := ir.GPR(1)
+	b.Emit(ir.OpFTrunc, func(i *ir.Instr) { i.Def = out; i.A = z })
+	b.Ret(out)
+	f.ReindexBlocks()
+	p := ir.NewProgram()
+	p.AddFunc(f)
+	Program(p)
+	// The FMR should be propagated away and removed by DCE.
+	moves := 0
+	f.Instrs(func(_ *ir.Block, i *ir.Instr) {
+		if i.Op == ir.OpFMove {
+			moves++
+		}
+	})
+	if moves != 0 {
+		t.Errorf("FMR survived optimisation:\n%s", f)
+	}
+	res := run(t, p, "t", 21)
+	if res.Ret != 42 {
+		t.Errorf("ret = %d, want 42", res.Ret)
+	}
+}

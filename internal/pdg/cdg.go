@@ -1,0 +1,152 @@
+// Package pdg builds the Program Dependence Graph of §4 of the paper for
+// one scheduling region: the forward control dependence subgraph (CSPDG)
+// computed per Ferrante/Ottenstein/Warren on the region's back-edge-free
+// flow graph, the identically-control-dependent equivalence classes with
+// their dominance orientation (Definitions 1–4), and the instruction
+// level data dependence graph with machine delays (§4.2). Both parts are
+// acyclic, so the whole PDG is acyclic (end of §4.2).
+package pdg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gsched/internal/cfg"
+)
+
+// CtrlDep records one control dependence: the dependent block executes
+// iff control leaves block Node through successor edge Label (0 =
+// fallthrough, 1 = taken branch).
+type CtrlDep struct {
+	Node  int
+	Label int
+}
+
+func (c CtrlDep) String() string {
+	cond := "F"
+	if c.Label == 1 {
+		cond = "T"
+	}
+	return fmt.Sprintf("(BL%d,%s)", c.Node+1, cond)
+}
+
+// CDG is the forward control dependence subgraph of a region.
+type CDG struct {
+	// Deps[b] is the control dependence set of block b, sorted.
+	Deps map[int][]CtrlDep
+	// Succs[a] lists blocks directly control dependent on a (the CSPDG
+	// children), sorted, without duplicates.
+	Succs map[int][]int
+}
+
+// BuildCDG computes forward control dependences over the region's forward
+// subgraph sg using its postdominator tree.
+func BuildCDG(sg *cfg.Subgraph, pdom *cfg.PostDomTree) *CDG {
+	c := &CDG{Deps: make(map[int][]CtrlDep), Succs: make(map[int][]int)}
+	for _, u := range sg.Nodes {
+		c.Deps[u] = nil
+	}
+	for _, a := range sg.Nodes {
+		for label, b := range sg.Succs[a] {
+			if pdom.PostDominates(b, a) {
+				continue
+			}
+			// Every node on the postdominator-tree path from b up to
+			// (exclusive) ipdom(a) is control dependent on (a, label).
+			stop := pdom.Ipdom(a)
+			for n := b; n != stop && n != pdom.VirtualExit; n = pdom.Ipdom(n) {
+				c.Deps[n] = append(c.Deps[n], CtrlDep{Node: a, Label: label})
+				if n == pdom.Ipdom(n) {
+					break // defensive: malformed tree
+				}
+			}
+		}
+	}
+	for b, deps := range c.Deps {
+		sort.Slice(deps, func(i, j int) bool {
+			if deps[i].Node != deps[j].Node {
+				return deps[i].Node < deps[j].Node
+			}
+			return deps[i].Label < deps[j].Label
+		})
+		c.Deps[b] = deps
+		for _, d := range deps {
+			c.Succs[d.Node] = append(c.Succs[d.Node], b)
+		}
+	}
+	for a := range c.Succs {
+		s := c.Succs[a]
+		sort.Ints(s)
+		// Deduplicate (a block can depend on the same controller once
+		// per label, but as a CSPDG child it appears once).
+		out := s[:0]
+		for i, v := range s {
+			if i == 0 || v != s[i-1] {
+				out = append(out, v)
+			}
+		}
+		c.Succs[a] = out
+	}
+	return c
+}
+
+// Key returns a canonical string for b's control dependence set, used to
+// find identically control dependent blocks.
+func (c *CDG) Key(b int) string {
+	var sb strings.Builder
+	for _, d := range c.Deps[b] {
+		fmt.Fprintf(&sb, "%d/%d;", d.Node, d.Label)
+	}
+	return sb.String()
+}
+
+// SpecDegree returns the number of branches gambled on when moving code
+// from block b to block a (Definition 7: the CSPDG path length from a to
+// b), or -1 if no CSPDG path exists. Equivalent blocks are at degree 0.
+func (c *CDG) SpecDegree(a, b int) int {
+	if c.Key(a) == c.Key(b) {
+		return 0
+	}
+	// BFS over CSPDG edges a -> children.
+	type item struct{ n, d int }
+	seen := map[int]bool{a: true}
+	queue := []item{{a, 0}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		for _, ch := range c.Succs[it.n] {
+			if seen[ch] {
+				continue
+			}
+			if ch == b {
+				return it.d + 1
+			}
+			seen[ch] = true
+			queue = append(queue, item{ch, it.d + 1})
+		}
+	}
+	return -1
+}
+
+// String renders the CSPDG in the style of Figure 4.
+func (c *CDG) String() string {
+	var nodes []int
+	for b := range c.Deps {
+		nodes = append(nodes, b)
+	}
+	sort.Ints(nodes)
+	var sb strings.Builder
+	for _, b := range nodes {
+		fmt.Fprintf(&sb, "BL%d:", b+1)
+		if len(c.Deps[b]) == 0 {
+			sb.WriteString(" -")
+		}
+		for _, d := range c.Deps[b] {
+			sb.WriteString(" ")
+			sb.WriteString(d.String())
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

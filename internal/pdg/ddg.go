@@ -1,0 +1,226 @@
+package pdg
+
+import (
+	"fmt"
+
+	"gsched/internal/ir"
+	"gsched/internal/machine"
+)
+
+// DepKind classifies data dependence edges (§4.2).
+type DepKind uint8
+
+const (
+	// Flow is a true dependence: a register defined by From is used by To.
+	Flow DepKind = iota
+	// Anti orders a use before a redefinition.
+	Anti
+	// Output orders two definitions of the same register.
+	Output
+	// MemOrder orders two memory-touching instructions that are not
+	// proven to address different locations (memory disambiguation).
+	MemOrder
+)
+
+func (k DepKind) String() string {
+	switch k {
+	case Flow:
+		return "flow"
+	case Anti:
+		return "anti"
+	case Output:
+		return "output"
+	case MemOrder:
+		return "mem"
+	}
+	return fmt.Sprintf("dep(%d)", uint8(k))
+}
+
+// DepEdge is one data dependence edge. Only Flow edges carry a non-zero
+// Delay (the machine's pipeline constraint between producer and this
+// particular consumer).
+type DepEdge struct {
+	From, To *ir.Instr
+	Kind     DepKind
+	Reg      ir.Reg // the register for Flow/Anti/Output; NoReg for MemOrder
+	Delay    int
+}
+
+// DDG is the data dependence graph over the instructions of a region,
+// indexed by instruction ID.
+type DDG struct {
+	Succs map[int][]DepEdge // From.ID -> outgoing edges
+	Preds map[int][]DepEdge // To.ID -> incoming edges
+	Edges int
+}
+
+func newDDG() *DDG {
+	return &DDG{Succs: make(map[int][]DepEdge), Preds: make(map[int][]DepEdge)}
+}
+
+func (d *DDG) add(e DepEdge) {
+	d.Succs[e.From.ID] = append(d.Succs[e.From.ID], e)
+	d.Preds[e.To.ID] = append(d.Preds[e.To.ID], e)
+	d.Edges++
+}
+
+// MayAlias implements the paper's memory disambiguation: two memory
+// references conflict unless proven to address different locations. We
+// prove difference when both references name distinct known symbols, or
+// when frame-local slots (constant offsets, no base) differ. Calls
+// conflict with all global memory but never with frame slots — spill
+// code stays freely schedulable around calls.
+func MayAlias(a, b *ir.Instr) bool {
+	if a.Op == ir.OpCall || b.Op == ir.OpCall {
+		// Frame slots are private to the function; a callee cannot
+		// touch them.
+		other := a.Mem
+		if a.Op == ir.OpCall {
+			other = b.Mem
+		}
+		return other == nil || !other.Frame
+	}
+	ma, mb := a.Mem, b.Mem
+	if ma == nil || mb == nil {
+		return false
+	}
+	if ma.Frame != mb.Frame {
+		return false
+	}
+	if ma.Frame {
+		return ma.Off == mb.Off
+	}
+	if ma.Sym != "" && mb.Sym != "" && ma.Sym != mb.Sym {
+		return false
+	}
+	// Same symbol with the same base register and distinct constant
+	// displacements cannot overlap for word accesses — but only when
+	// the base cannot change between the two references, which pairwise
+	// construction cannot see. Stay conservative.
+	return true
+}
+
+// dependence returns the data dependence edges from instruction a to a
+// later instruction b, if any (there may be up to two: a register edge
+// and a memory edge never coexist, but flow on one register and anti on
+// another can).
+func dependence(a, b *ir.Instr, mach *machine.Desc, buf []DepEdge) []DepEdge {
+	var uses, defs [4]ir.Reg
+	aDefs := a.Defs(defs[:0])
+	// Flow: a defines something b uses.
+	for _, r := range aDefs {
+		if b.UsesReg(r) {
+			buf = append(buf, DepEdge{From: a, To: b, Kind: Flow, Reg: r, Delay: mach.Delay(a, b, r)})
+		}
+	}
+	// Anti: a uses something b defines.
+	aUses := a.Uses(uses[:0])
+	for _, r := range aUses {
+		if b.DefsReg(r) {
+			buf = append(buf, DepEdge{From: a, To: b, Kind: Anti, Reg: r})
+		}
+	}
+	// Output: both define the same register.
+	for _, r := range aDefs {
+		if b.DefsReg(r) {
+			buf = append(buf, DepEdge{From: a, To: b, Kind: Output, Reg: r})
+		}
+	}
+	// Memory ordering. Load-load pairs never conflict.
+	if a.Op.TouchesMemory() && b.Op.TouchesMemory() &&
+		!(a.Op.IsLoad() && b.Op.IsLoad()) && MayAlias(a, b) {
+		buf = append(buf, DepEdge{From: a, To: b, Kind: MemOrder, Reg: ir.NoReg})
+	}
+	return buf
+}
+
+// BuildDDG computes the data dependence graph over the given blocks of f:
+// intra-block dependences in instruction order, and inter-block
+// dependences for every pair (A, B) with B reachable from A in the
+// forward subgraph (§4.2 computes exactly these pairs).
+func BuildDDG(f *ir.Func, blocks []int, reach map[int]map[int]bool, mach *machine.Desc) *DDG {
+	d := newDDG()
+	var buf []DepEdge
+	for _, bi := range blocks {
+		blk := f.Blocks[bi]
+		// Intra-block: a strictly before b.
+		for x := 0; x < len(blk.Instrs); x++ {
+			for y := x + 1; y < len(blk.Instrs); y++ {
+				buf = dependence(blk.Instrs[x], blk.Instrs[y], mach, buf[:0])
+				for _, e := range buf {
+					d.add(e)
+				}
+			}
+		}
+	}
+	for _, ai := range blocks {
+		for _, bi := range blocks {
+			if ai == bi || !reach[ai][bi] {
+				continue
+			}
+			ba, bb := f.Blocks[ai], f.Blocks[bi]
+			for _, x := range ba.Instrs {
+				for _, y := range bb.Instrs {
+					buf = dependence(x, y, mach, buf[:0])
+					for _, e := range buf {
+						d.add(e)
+					}
+				}
+			}
+		}
+	}
+	return d
+}
+
+// BuildBlockDDG computes the intra-block dependence graph of a single
+// block, used by the basic block scheduler.
+func BuildBlockDDG(blk *ir.Block, mach *machine.Desc) *DDG {
+	d := newDDG()
+	var buf []DepEdge
+	for x := 0; x < len(blk.Instrs); x++ {
+		for y := x + 1; y < len(blk.Instrs); y++ {
+			buf = dependence(blk.Instrs[x], blk.Instrs[y], mach, buf[:0])
+			for _, e := range buf {
+				d.add(e)
+			}
+		}
+	}
+	return d
+}
+
+// Heights computes the paper's two priority functions over the
+// instructions of one block, considering only dependence successors
+// within the same block (§5.2):
+//
+//	D(I)  = max over successors J of D(J) + d(I,J)            (delay heuristic)
+//	CP(I) = max over successors J of CP(J) + d(I,J), + E(I)   (critical path)
+//
+// The returned maps are keyed by instruction ID.
+func Heights(blk *ir.Block, ddg *DDG, mach *machine.Desc) (D, CP map[int]int) {
+	D = make(map[int]int, len(blk.Instrs))
+	CP = make(map[int]int, len(blk.Instrs))
+	inBlock := make(map[int]bool, len(blk.Instrs))
+	for _, i := range blk.Instrs {
+		inBlock[i.ID] = true
+	}
+	// Visit in reverse order: successors of I within a block always come
+	// after I, so a reverse sweep visits successors first.
+	for k := len(blk.Instrs) - 1; k >= 0; k-- {
+		i := blk.Instrs[k]
+		dv, cp := 0, 0
+		for _, e := range ddg.Succs[i.ID] {
+			if !inBlock[e.To.ID] {
+				continue
+			}
+			if v := D[e.To.ID] + e.Delay; v > dv {
+				dv = v
+			}
+			if v := CP[e.To.ID] + e.Delay; v > cp {
+				cp = v
+			}
+		}
+		D[i.ID] = dv
+		CP[i.ID] = cp + mach.Exec(i.Op)
+	}
+	return D, CP
+}

@@ -1,0 +1,200 @@
+package pdg
+
+import (
+	"sort"
+
+	"gsched/internal/cfg"
+	"gsched/internal/ir"
+	"gsched/internal/machine"
+)
+
+// PDG bundles everything the global scheduler needs about one region: the
+// forward control dependence subgraph, equivalence classes, reachability,
+// dominance, and the data dependence graph with machine delays.
+type PDG struct {
+	F      *ir.Func
+	G      *cfg.Graph
+	Region *cfg.Region
+
+	Forward *cfg.Subgraph
+	Topo    []int // region blocks in topological order of the forward subgraph
+	Dom     *cfg.DomTree
+	PDom    *cfg.PostDomTree
+	CDG     *CDG
+	Reach   map[int]map[int]bool
+	DDG     *DDG
+
+	// equivAll[b] lists all blocks identically control dependent with b
+	// (excluding b), sorted.
+	equivAll map[int][]int
+}
+
+// Build assembles the PDG of a region. blocks should be the region's
+// blocks (r.Blocks); the DDG always covers all of them so instructions of
+// nested regions participate as immovable dependence sources and sinks.
+func Build(f *ir.Func, g *cfg.Graph, li *cfg.LoopInfo, r *cfg.Region, mach *machine.Desc) (*PDG, error) {
+	sg := g.Forward(r.Blocks, r.Header, li.IsBackEdge)
+	topo, err := sg.Topological()
+	if err != nil {
+		return nil, err
+	}
+	pdom := cfg.PostDominators(sg, cfg.RegionExits(g, li, r))
+	cdg := BuildCDG(sg, pdom)
+	// Data dependences use reachability in the control flow graph
+	// (§4.2: "such that B is reachable from A in the control flow
+	// graph"), not the acyclic forward view: a block after a nested
+	// loop IS reachable from the loop's body, and instructions must
+	// not migrate across the loop against such dependences. Only the
+	// region's own back edges are cut (one-iteration scheduling);
+	// nested regions keep their cycles, so paths through them survive.
+	depView := g.Forward(r.Blocks, r.Header, func(u, v int) bool {
+		return v == r.Header && li.IsBackEdge(u, v)
+	})
+	reach := depView.ReachableFrom()
+	ddg := BuildDDG(f, r.Blocks, reach, mach)
+	// Sessions must follow CFG-path order (§5.1), which the dependence
+	// view's condensation provides: a block after a nested loop is
+	// processed after every block of that loop, even when the layout
+	// interleaves them (e.g. break blocks).
+	topo = depView.CondensationOrder()
+
+	p := &PDG{
+		F: f, G: g, Region: r,
+		Forward: sg, Topo: topo,
+		Dom: li.Dom(), PDom: pdom,
+		CDG: cdg, Reach: reach, DDG: ddg,
+		equivAll: make(map[int][]int),
+	}
+	byKey := make(map[string][]int)
+	for _, b := range r.Blocks {
+		k := cdg.Key(b)
+		byKey[k] = append(byKey[k], b)
+	}
+	for _, group := range byKey {
+		sort.Ints(group)
+		for _, b := range group {
+			for _, o := range group {
+				if o != b {
+					p.equivAll[b] = append(p.equivAll[b], o)
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+// RebuildDDG recomputes the data dependence graph over the region's
+// current instructions. Scheduling with duplication inserts cloned
+// instructions that the original DDG does not know; callers must rebuild
+// before any later session consults dependences.
+func (p *PDG) RebuildDDG(mach *machine.Desc) {
+	p.DDG = BuildDDG(p.F, p.Region.Blocks, p.Reach, mach)
+}
+
+// Equivalent reports whether blocks a and b are equivalent (Definition 3:
+// a dominates b and b postdominates a), found via identical control
+// dependences as §4.1 prescribes, and confirmed on the dominator and
+// postdominator trees.
+func (p *PDG) Equivalent(a, b int) bool {
+	if a == b {
+		return true
+	}
+	if p.CDG.Key(a) != p.CDG.Key(b) {
+		return false
+	}
+	return (p.Dom.Dominates(a, b) && p.PDom.PostDominates(b, a)) ||
+		(p.Dom.Dominates(b, a) && p.PDom.PostDominates(a, b))
+}
+
+// Equiv returns EQUIV(A): the blocks equivalent to a and dominated by a
+// (the candidates for useful motion into a), sorted ascending.
+func (p *PDG) Equiv(a int) []int {
+	var out []int
+	for _, b := range p.equivAll[a] {
+		if p.Dom.Dominates(a, b) && p.PDom.PostDominates(b, a) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// SpecCandidates returns the additional candidate blocks for 1-branch
+// speculative scheduling into a (§5.1): the immediate CSPDG successors of
+// a and of every member of EQUIV(a), excluding blocks already equivalent
+// to a, restricted to blocks dominated by a (no-duplication limitation:
+// Definition 6 forbids moving from b when a does not dominate b).
+func (p *PDG) SpecCandidates(a int) []int { return p.SpecCandidatesN(a, 1) }
+
+// SpecCandidatesN generalises SpecCandidates to n-branch speculation
+// (Definition 7): blocks within CSPDG distance n of a or of a member of
+// EQUIV(a). The paper implements n = 1 and leaves larger n as future
+// work; both are supported here.
+func (p *PDG) SpecCandidatesN(a, n int) []int {
+	seen := map[int]bool{a: true}
+	for _, b := range p.Equiv(a) {
+		seen[b] = true
+	}
+	frontier := make([]int, 0, 1+len(p.Equiv(a)))
+	frontier = append(frontier, a)
+	frontier = append(frontier, p.Equiv(a)...)
+	var out []int
+	for depth := 0; depth < n; depth++ {
+		var next []int
+		for _, node := range frontier {
+			for _, ch := range p.CDG.Succs[node] {
+				if seen[ch] || !p.Dom.Dominates(a, ch) {
+					continue
+				}
+				seen[ch] = true
+				out = append(out, ch)
+				next = append(next, ch)
+			}
+		}
+		frontier = next
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ExecProb estimates the probability that block b executes given that
+// block a executes, from an edge profile: control dependence sets are
+// not transitive, so the estimate recurses through each controlling
+// block (the forward CDG is acyclic). Dependences already implied by a
+// contribute probability one; unprofiled branches count as 0.5.
+func (p *PDG) ExecProb(a, b int, takenProb func(branchInstr *ir.Instr) float64) float64 {
+	have := make(map[CtrlDep]bool)
+	for _, d := range p.CDG.Deps[a] {
+		have[d] = true
+	}
+	memo := make(map[int]float64)
+	var probOf func(int) float64
+	probOf = func(n int) float64 {
+		if n == a {
+			return 1
+		}
+		if v, ok := memo[n]; ok {
+			return v
+		}
+		memo[n] = 1 // break accidental cycles defensively
+		prob := 1.0
+		for _, d := range p.CDG.Deps[n] {
+			if have[d] {
+				continue
+			}
+			edge := 1.0
+			ctrl := p.F.Blocks[d.Node]
+			if t := ctrl.Terminator(); t != nil && t.Op == ir.OpBC {
+				tp := takenProb(t)
+				if d.Label == 1 {
+					edge = tp
+				} else {
+					edge = 1 - tp
+				}
+			}
+			prob *= edge * probOf(d.Node)
+		}
+		memo[n] = prob
+		return prob
+	}
+	return probOf(b)
+}

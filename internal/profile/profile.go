@@ -1,0 +1,87 @@
+// Package profile holds edge profiles: per-branch taken/not-taken
+// counts gathered by the simulator. The paper points out (§1) that
+// global scheduling "is capable of taking advantage of the branch
+// probabilities, whenever available (e.g. computed by profiling)" — the
+// scheduler consumes these profiles to avoid speculating into rarely
+// executed blocks.
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Key identifies one conditional branch instruction.
+type Key struct {
+	Func    string
+	InstrID int
+}
+
+// Counts records the two outcomes of a branch.
+type Counts struct {
+	NotTaken int64
+	Taken    int64
+}
+
+// Total returns the number of executions.
+func (c Counts) Total() int64 { return c.NotTaken + c.Taken }
+
+// TakenProb returns the empirical probability the branch is taken;
+// branches never executed report 0.5 (no information).
+func (c Counts) TakenProb() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0.5
+	}
+	return float64(c.Taken) / float64(t)
+}
+
+// Profile maps branches to outcome counts.
+type Profile struct {
+	Edges map[Key]Counts
+}
+
+// New returns an empty profile.
+func New() *Profile { return &Profile{Edges: make(map[Key]Counts)} }
+
+// Record adds one observation.
+func (p *Profile) Record(fn string, instrID int, taken bool) {
+	k := Key{Func: fn, InstrID: instrID}
+	c := p.Edges[k]
+	if taken {
+		c.Taken++
+	} else {
+		c.NotTaken++
+	}
+	p.Edges[k] = c
+}
+
+// Branch returns the counts for a branch (zero counts if never seen).
+func (p *Profile) Branch(fn string, instrID int) Counts {
+	if p == nil || p.Edges == nil {
+		return Counts{}
+	}
+	return p.Edges[Key{Func: fn, InstrID: instrID}]
+}
+
+// String renders the profile sorted by function and instruction.
+func (p *Profile) String() string {
+	keys := make([]Key, 0, len(p.Edges))
+	for k := range p.Edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Func != keys[j].Func {
+			return keys[i].Func < keys[j].Func
+		}
+		return keys[i].InstrID < keys[j].InstrID
+	})
+	var sb strings.Builder
+	for _, k := range keys {
+		c := p.Edges[k]
+		fmt.Fprintf(&sb, "%s/%d: taken %d, not taken %d (p=%.2f)\n",
+			k.Func, k.InstrID, c.Taken, c.NotTaken, c.TakenProb())
+	}
+	return sb.String()
+}

@@ -1,0 +1,50 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCountsAndProbabilities(t *testing.T) {
+	p := New()
+	for k := 0; k < 30; k++ {
+		p.Record("f", 7, true)
+	}
+	for k := 0; k < 10; k++ {
+		p.Record("f", 7, false)
+	}
+	c := p.Branch("f", 7)
+	if c.Taken != 30 || c.NotTaken != 10 || c.Total() != 40 {
+		t.Errorf("counts = %+v", c)
+	}
+	if got := c.TakenProb(); got != 0.75 {
+		t.Errorf("TakenProb = %v, want 0.75", got)
+	}
+	// Unknown branches are uninformative.
+	if got := p.Branch("f", 99).TakenProb(); got != 0.5 {
+		t.Errorf("unknown branch prob = %v, want 0.5", got)
+	}
+	if got := p.Branch("g", 7).TakenProb(); got != 0.5 {
+		t.Errorf("other function prob = %v, want 0.5", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var p *Profile
+	if got := p.Branch("f", 1).TakenProb(); got != 0.5 {
+		t.Errorf("nil profile prob = %v, want 0.5", got)
+	}
+}
+
+func TestStringSorted(t *testing.T) {
+	p := New()
+	p.Record("b", 2, true)
+	p.Record("a", 9, false)
+	p.Record("a", 1, true)
+	s := p.String()
+	ia, ib := strings.Index(s, "a/1"), strings.Index(s, "b/2")
+	i9 := strings.Index(s, "a/9")
+	if !(ia >= 0 && i9 > ia && ib > i9) {
+		t.Errorf("not sorted:\n%s", s)
+	}
+}

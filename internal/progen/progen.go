@@ -1,0 +1,251 @@
+// Package progen generates random — but terminating and fault-free —
+// mini-C programs for property-based testing. The central property of
+// this repository ("scheduling never changes observable behaviour") is
+// checked by compiling a generated program, scheduling it at every
+// level, and comparing results and printed output against the
+// unscheduled run.
+//
+// Safety by construction:
+//   - loops are counted for-loops with constant bounds whose induction
+//     variable is never assigned in the body,
+//   - array indices are wrapped into range with ((e % size) + size) % size,
+//   - division and remainder happen only by positive constants,
+//   - recursion is not generated.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Program is a generated test program.
+type Program struct {
+	Source string
+	Entry  string
+	Args   []int64
+	Seed   int64
+}
+
+type genState struct {
+	r      *rand.Rand
+	sb     strings.Builder
+	arrays map[string]int // name -> size
+	depth  int
+
+	vars     []string // assignable scalars in scope
+	loopVars []string // readable but not assignable
+	indent   int
+	inHelper bool // no helper calls inside helper (no recursion)
+}
+
+// New generates a program from the seed.
+func New(seed int64) *Program {
+	g := &genState{
+		r:      rand.New(rand.NewSource(seed)),
+		arrays: make(map[string]int),
+	}
+	// Globals: 1-3 arrays and 1-2 scalars.
+	na := 1 + g.r.Intn(3)
+	for i := 0; i < na; i++ {
+		name := fmt.Sprintf("g%d", i)
+		size := 4 + g.r.Intn(29)
+		g.arrays[name] = size
+		var init []string
+		for k := 0; k < g.r.Intn(size); k++ {
+			init = append(init, fmt.Sprint(g.r.Intn(200)-100))
+		}
+		if len(init) > 0 {
+			fmt.Fprintf(&g.sb, "int %s[%d] = {%s};\n", name, size, strings.Join(init, ", "))
+		} else {
+			fmt.Fprintf(&g.sb, "int %s[%d];\n", name, size)
+		}
+	}
+	ns := g.r.Intn(3)
+	var scalars []string
+	for i := 0; i < ns; i++ {
+		name := fmt.Sprintf("s%d", i)
+		scalars = append(scalars, name)
+		fmt.Fprintf(&g.sb, "int %s = %d;\n", name, g.r.Intn(20)-10)
+	}
+
+	// A helper function over two ints.
+	fmt.Fprintf(&g.sb, "\nint helper(int x, int y) {\n")
+	g.indent = 1
+	g.vars = []string{"x", "y"}
+	g.inHelper = true
+	g.block(2)
+	g.inHelper = false
+	g.line("return x - y;")
+	g.sb.WriteString("}\n")
+
+	// The entry function.
+	fmt.Fprintf(&g.sb, "\nint main(int p0, int p1) {\n")
+	g.vars = append([]string{"p0", "p1"}, scalars...)
+	g.loopVars = nil
+	nloc := 1 + g.r.Intn(3)
+	for i := 0; i < nloc; i++ {
+		name := fmt.Sprintf("v%d", i)
+		g.line(fmt.Sprintf("int %s = %s;", name, g.expr(1)))
+		g.vars = append(g.vars, name)
+	}
+	g.block(4)
+	// Return a digest of state.
+	ret := g.expr(2)
+	for i := 0; i < len(g.arrays); i++ {
+		name := fmt.Sprintf("g%d", i)
+		ret += fmt.Sprintf(" + %s[%d]", name, g.r.Intn(g.arrays[name]))
+	}
+	g.line("return " + ret + ";")
+	g.sb.WriteString("}\n")
+
+	return &Program{
+		Source: g.sb.String(),
+		Entry:  "main",
+		Args:   []int64{int64(g.r.Intn(100) - 50), int64(g.r.Intn(100) - 50)},
+		Seed:   seed,
+	}
+}
+
+func (g *genState) line(s string) {
+	g.sb.WriteString(strings.Repeat("    ", g.indent))
+	g.sb.WriteString(s)
+	g.sb.WriteString("\n")
+}
+
+// block emits up to n statements.
+func (g *genState) block(n int) {
+	count := 1 + g.r.Intn(n)
+	for i := 0; i < count; i++ {
+		g.stmt()
+	}
+}
+
+func (g *genState) stmt() {
+	g.depth++
+	defer func() { g.depth-- }()
+	choice := g.r.Intn(10)
+	if g.depth > 4 && choice >= 4 {
+		choice = g.r.Intn(4) // deep nests only emit simple statements
+	}
+	switch choice {
+	case 0, 1, 2: // scalar assignment
+		if len(g.vars) == 0 {
+			g.line("print(0);")
+			return
+		}
+		v := g.vars[g.r.Intn(len(g.vars))]
+		op := []string{"=", "+=", "-="}[g.r.Intn(3)]
+		g.line(fmt.Sprintf("%s %s %s;", v, op, g.expr(2)))
+	case 3: // array store
+		name, size := g.pickArray()
+		g.line(fmt.Sprintf("%s[%s] = %s;", name, g.index(size), g.expr(2)))
+	case 4, 5: // if / if-else
+		cond := g.cond()
+		g.line(fmt.Sprintf("if (%s) {", cond))
+		g.indent++
+		g.block(3)
+		g.indent--
+		if g.r.Intn(2) == 0 {
+			g.line("} else {")
+			g.indent++
+			g.block(2)
+			g.indent--
+		}
+		g.line("}")
+	case 6, 7: // bounded for loop
+		iv := fmt.Sprintf("i%d", g.depth)
+		bound := 2 + g.r.Intn(7)
+		g.line(fmt.Sprintf("for (int %s = 0; %s < %d; %s++) {", iv, iv, bound, iv))
+		g.indent++
+		g.loopVars = append(g.loopVars, iv)
+		g.block(3)
+		if g.r.Intn(4) == 0 {
+			g.line(fmt.Sprintf("if (%s) continue;", g.cond()))
+		}
+		if g.r.Intn(4) == 0 {
+			g.line(fmt.Sprintf("if (%s) break;", g.cond()))
+		}
+		g.loopVars = g.loopVars[:len(g.loopVars)-1]
+		g.indent--
+		g.line("}")
+	case 8: // print
+		g.line(fmt.Sprintf("print(%s);", g.expr(2)))
+	default: // helper call into a scalar
+		if len(g.vars) == 0 || g.inHelper {
+			g.line("print(1);")
+			return
+		}
+		v := g.vars[g.r.Intn(len(g.vars))]
+		g.line(fmt.Sprintf("%s = helper(%s, %s);", v, g.expr(1), g.expr(1)))
+	}
+}
+
+func (g *genState) pickArray() (string, int) {
+	k := g.r.Intn(len(g.arrays))
+	// Deterministic iteration: arrays are g0..gN.
+	name := fmt.Sprintf("g%d", k)
+	return name, g.arrays[name]
+}
+
+// index produces an always-in-range index expression.
+func (g *genState) index(size int) string {
+	if g.r.Intn(2) == 0 {
+		return fmt.Sprint(g.r.Intn(size))
+	}
+	return fmt.Sprintf("((%s %% %d) + %d) %% %d", g.expr(1), size, size, size)
+}
+
+// atom is a leaf expression.
+func (g *genState) atom() string {
+	pool := append(append([]string{}, g.vars...), g.loopVars...)
+	switch {
+	case len(pool) > 0 && g.r.Intn(3) != 0:
+		return pool[g.r.Intn(len(pool))]
+	case g.r.Intn(3) == 0:
+		name, size := g.pickArray()
+		return fmt.Sprintf("%s[%s]", name, g.index(size))
+	default:
+		return fmt.Sprint(g.r.Intn(64) - 32)
+	}
+}
+
+// expr generates an expression of bounded depth.
+func (g *genState) expr(depth int) string {
+	if depth <= 0 {
+		return g.atom()
+	}
+	switch g.r.Intn(8) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", g.expr(depth-1), g.expr(depth-1))
+	case 1:
+		return fmt.Sprintf("(%s - %s)", g.expr(depth-1), g.expr(depth-1))
+	case 2:
+		return fmt.Sprintf("(%s * %s)", g.expr(depth-1), g.atom())
+	case 3:
+		return fmt.Sprintf("(%s %% %d)", g.expr(depth-1), 1+g.r.Intn(16))
+	case 4:
+		return fmt.Sprintf("(%s / %d)", g.expr(depth-1), 1+g.r.Intn(16))
+	case 5:
+		return fmt.Sprintf("(%s & %s)", g.expr(depth-1), g.atom())
+	case 6:
+		return fmt.Sprintf("(%s ^ %s)", g.expr(depth-1), g.atom())
+	default:
+		return g.atom()
+	}
+}
+
+// cond generates a boolean expression.
+func (g *genState) cond() string {
+	op := []string{"<", "<=", ">", ">=", "==", "!="}[g.r.Intn(6)]
+	c := fmt.Sprintf("%s %s %s", g.expr(1), op, g.atom())
+	switch g.r.Intn(4) {
+	case 0:
+		op2 := []string{"<", ">"}[g.r.Intn(2)]
+		return fmt.Sprintf("%s && %s %s %s", c, g.atom(), op2, g.atom())
+	case 1:
+		op2 := []string{"==", "!="}[g.r.Intn(2)]
+		return fmt.Sprintf("%s || %s %s %s", c, g.atom(), op2, g.atom())
+	}
+	return c
+}

@@ -1,0 +1,171 @@
+package progen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gsched/internal/core"
+	"gsched/internal/machine"
+	"gsched/internal/minic"
+	"gsched/internal/sim"
+	"gsched/internal/xform"
+)
+
+// run compiles and executes a generated program after the given
+// scheduling treatment; level < 0 means unscheduled. duplicate enables
+// the Definition 6 extension.
+func run(t *testing.T, p *Program, level core.Level, pipeline bool, duplicate ...bool) (*sim.Result, bool) {
+	t.Helper()
+	prog, err := minic.Compile(p.Source)
+	if err != nil {
+		t.Fatalf("seed %d: compile: %v\n%s", p.Seed, err, p.Source)
+	}
+	mach := machine.RS6K()
+	if level >= core.LevelNone {
+		opts := core.Defaults(mach, level)
+		if len(duplicate) > 0 && duplicate[0] {
+			opts.Duplicate = true
+		}
+		if pipeline {
+			if _, err := xform.RunProgram(prog, opts, xform.DefaultConfig()); err != nil {
+				t.Fatalf("seed %d: xform: %v\n%s", p.Seed, err, p.Source)
+			}
+		} else {
+			if _, err := core.ScheduleProgram(prog, opts); err != nil {
+				t.Fatalf("seed %d: schedule: %v\n%s", p.Seed, err, p.Source)
+			}
+		}
+		for _, f := range prog.Funcs {
+			if err := f.Validate(); err != nil {
+				t.Fatalf("seed %d: invalid after scheduling: %v", p.Seed, err)
+			}
+		}
+	}
+	m, err := sim.Load(prog)
+	if err != nil {
+		t.Fatalf("seed %d: load: %v", p.Seed, err)
+	}
+	res, err := m.Run(p.Entry, p.Args, nil, sim.Options{
+		Machine:        mach,
+		ForgivingLoads: level >= core.LevelSpeculative,
+		MaxInstrs:      20_000_000,
+	})
+	if err != nil {
+		t.Fatalf("seed %d: run (level=%v pipeline=%v): %v\n%s", p.Seed, level, pipeline, err, p.Source)
+	}
+	return res, true
+}
+
+// TestGeneratedProgramsAreSafe: every generated program compiles and
+// terminates without memory faults, division by zero, or runaway loops.
+func TestGeneratedProgramsAreSafe(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		p := New(seed)
+		res, _ := run(t, p, -1, false)
+		if res.Instrs == 0 {
+			t.Errorf("seed %d: empty execution", seed)
+		}
+	}
+}
+
+// TestSchedulingInvariance is the repository's central property: for
+// random programs, every scheduling level (with and without the
+// unroll/rotate pipeline) preserves the return value and the printed
+// output. Driven through testing/quick.
+func TestSchedulingInvariance(t *testing.T) {
+	seeds := 0
+	property := func(seed int64) bool {
+		seeds++
+		if seed < 0 {
+			seed = -seed
+		}
+		p := New(seed % 100_000)
+		base, _ := run(t, p, -1, false)
+		for _, level := range []core.Level{core.LevelNone, core.LevelUseful, core.LevelSpeculative} {
+			for _, pipeline := range []bool{false, true} {
+				res, _ := run(t, p, level, pipeline)
+				if res.Ret != base.Ret || res.PrintedString() != base.PrintedString() {
+					t.Logf("seed %d level=%v pipeline=%v: ret=%d/%q want %d/%q\n%s",
+						p.Seed, level, pipeline, res.Ret, res.PrintedString(),
+						base.Ret, base.PrintedString(), p.Source)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if testing.Short() {
+		cfg.MaxCount = 8
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("checked %d random programs", seeds)
+}
+
+// TestUsefulKeepsDynamicCounts: useful-only motion may never change the
+// number of executed instructions (equivalence means equal execution
+// frequency).
+func TestUsefulKeepsDynamicCounts(t *testing.T) {
+	property := func(seed int64) bool {
+		if seed < 0 {
+			seed = -seed
+		}
+		p := New(seed % 100_000)
+		base, _ := run(t, p, -1, false)
+		useful, _ := run(t, p, core.LevelUseful, false)
+		if useful.Instrs != base.Instrs {
+			t.Logf("seed %d: dynamic count %d -> %d\n%s", p.Seed, base.Instrs, useful.Instrs, p.Source)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if testing.Short() {
+		cfg.MaxCount = 5
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDuplicationInvariance: the Definition 6 extension must also
+// preserve behaviour on random programs (with and without the pipeline).
+func TestDuplicationInvariance(t *testing.T) {
+	property := func(seed int64) bool {
+		if seed < 0 {
+			seed = -seed
+		}
+		p := New(seed % 100_000)
+		base, _ := run(t, p, -1, false)
+		for _, pipeline := range []bool{false, true} {
+			res, _ := run(t, p, core.LevelSpeculative, pipeline, true)
+			if res.Ret != base.Ret || res.PrintedString() != base.PrintedString() {
+				t.Logf("seed %d pipeline=%v: ret=%d/%q want %d/%q\n%s",
+					p.Seed, pipeline, res.Ret, res.PrintedString(),
+					base.Ret, base.PrintedString(), p.Source)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if testing.Short() {
+		cfg.MaxCount = 8
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeterministicGeneration pins the generator: the same seed yields
+// the same source.
+func TestDeterministicGeneration(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		a, b := New(seed), New(seed)
+		if a.Source != b.Source {
+			t.Fatalf("seed %d: nondeterministic generation", seed)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+// Package rename implements register renaming: it partitions the
+// definitions and uses of each symbolic register into independent webs
+// (connected def-use chains) and gives every web its own register. This
+// removes the anti and output dependences the paper says "may
+// unnecessarily constrain the scheduling process" (§4.2 — "the XL
+// compiler does certain renaming of registers, which is similar to the
+// effect of the static single assignment form").
+//
+// The minmax example of the paper needs exactly this: Figure 2 reuses
+// cr6 and cr7 across blocks, and Figure 6's speculative motion of I12
+// into BL1 is only legal after its destination is renamed (the paper
+// prints it as cr5).
+package rename
+
+import (
+	"gsched/internal/cfg"
+	"gsched/internal/ir"
+)
+
+// defSite identifies one register definition: slot 0 is Instr.Def,
+// slot 1 is Instr.Def2. A nil Instr is the virtual entry definition used
+// for parameters and registers possibly read before being written.
+type defSite struct {
+	instr *ir.Instr
+	slot  int
+	reg   ir.Reg
+}
+
+// Run renames registers in f and returns the number of webs that
+// received a fresh name. The flow graph g must match f.
+func Run(f *ir.Func, g *cfg.Graph) int {
+	// 1. Enumerate definition sites.
+	var defs []defSite
+	defIdx := make(map[*ir.Instr][2]int) // per-instruction def ids; -1 when absent
+	regDefs := make(map[ir.Reg][]int)    // register -> def ids (for kill sets)
+
+	addDef := func(i *ir.Instr, slot int, r ir.Reg) int {
+		id := len(defs)
+		defs = append(defs, defSite{instr: i, slot: slot, reg: r})
+		regDefs[r] = append(regDefs[r], id)
+		return id
+	}
+
+	// Virtual entry definitions: parameters, plus any register that may
+	// be read before written (conservatively: any register used in the
+	// function gets an entry def; webs that never see it are unaffected
+	// because it only reaches uses not covered by a real def).
+	entryDef := make(map[ir.Reg]int)
+	noteEntry := func(r ir.Reg) {
+		if !r.Valid() {
+			return
+		}
+		if _, ok := entryDef[r]; !ok {
+			entryDef[r] = addDef(nil, -1, r)
+		}
+	}
+	for _, p := range f.Params {
+		noteEntry(p)
+	}
+	var scratch []ir.Reg
+	f.Instrs(func(_ *ir.Block, i *ir.Instr) {
+		scratch = i.Uses(scratch[:0])
+		for _, r := range scratch {
+			noteEntry(r)
+		}
+	})
+	f.Instrs(func(_ *ir.Block, i *ir.Instr) {
+		ids := [2]int{-1, -1}
+		if i.Def.Valid() {
+			ids[0] = addDef(i, 0, i.Def)
+		}
+		if i.Def2.Valid() {
+			ids[1] = addDef(i, 1, i.Def2)
+		}
+		defIdx[i] = ids
+	})
+
+	nd := len(defs)
+	words := (nd + 63) / 64
+
+	// 2. Reaching definitions (block-level gen/kill, then instruction
+	// walk).
+	nb := len(f.Blocks)
+	gen := make([][]uint64, nb)
+	kill := make([][]uint64, nb)
+	in := make([][]uint64, nb)
+	out := make([][]uint64, nb)
+	for bi := range f.Blocks {
+		gen[bi] = make([]uint64, words)
+		kill[bi] = make([]uint64, words)
+		in[bi] = make([]uint64, words)
+		out[bi] = make([]uint64, words)
+	}
+	set := func(bs []uint64, id int) { bs[id/64] |= 1 << (uint(id) % 64) }
+	clear := func(bs []uint64, id int) { bs[id/64] &^= 1 << (uint(id) % 64) }
+	has := func(bs []uint64, id int) bool { return bs[id/64]&(1<<(uint(id)%64)) != 0 }
+
+	for bi, b := range f.Blocks {
+		for _, i := range b.Instrs {
+			ids := defIdx[i]
+			for s := 0; s < 2; s++ {
+				id := ids[s]
+				if id < 0 {
+					continue
+				}
+				for _, other := range regDefs[defs[id].reg] {
+					if other != id {
+						set(kill[bi], other)
+						clear(gen[bi], other)
+					}
+				}
+				set(gen[bi], id)
+			}
+		}
+	}
+	// Entry block starts with the virtual entry defs.
+	entryIn := make([]uint64, words)
+	for _, id := range entryDef {
+		set(entryIn, id)
+	}
+	copy(in[0], entryIn)
+
+	for changed := true; changed; {
+		changed = false
+		for bi := 0; bi < nb; bi++ {
+			// in = union of preds' out (plus entry defs for block 0).
+			if bi == 0 {
+				copy(in[bi], entryIn)
+			} else {
+				for w := range in[bi] {
+					in[bi][w] = 0
+				}
+			}
+			for _, p := range g.Preds[bi] {
+				for w := range in[bi] {
+					in[bi][w] |= out[p][w]
+				}
+			}
+			for w := range out[bi] {
+				nv := gen[bi][w] | (in[bi][w] &^ kill[bi][w])
+				if nv != out[bi][w] {
+					out[bi][w] = nv
+					changed = true
+				}
+			}
+		}
+	}
+
+	// 3. Union-find webs over def sites; walk each block connecting
+	// every use to the defs reaching it.
+	parent := make([]int, nd)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	// useWeb remembers a representative def for each use slot so the
+	// rewrite can look up the web register.
+	type useSlot struct {
+		instr *ir.Instr
+		which int // 0=A, 1=B, 2=Mem.Base, 3+k=CallArgs[k]
+	}
+	useDef := make(map[useSlot]int)
+
+	cur := make([]uint64, words)
+	for bi, b := range f.Blocks {
+		copy(cur, in[bi])
+		for _, i := range b.Instrs {
+			connect := func(r ir.Reg, which int) {
+				if !r.Valid() {
+					return
+				}
+				first := -1
+				for _, id := range regDefs[r] {
+					if has(cur, id) {
+						if first < 0 {
+							first = id
+						} else {
+							union(first, id)
+						}
+					}
+				}
+				if first >= 0 {
+					useDef[useSlot{i, which}] = first
+				}
+			}
+			connect(i.A, 0)
+			connect(i.B, 1)
+			if i.Mem != nil {
+				connect(i.Mem.Base, 2)
+			}
+			for k, a := range i.CallArgs {
+				connect(a, 3+k)
+			}
+			ids := defIdx[i]
+			for s := 0; s < 2; s++ {
+				id := ids[s]
+				if id < 0 {
+					continue
+				}
+				for _, other := range regDefs[defs[id].reg] {
+					clear(cur, other)
+				}
+				set(cur, id)
+			}
+		}
+	}
+
+	// 4. Assign one register per web. Webs containing a virtual entry
+	// def keep the original register (parameters and possibly-
+	// uninitialised reads must not change names); the web containing
+	// the first real definition of each register also keeps the
+	// original name, so renaming is minimal and output remains
+	// recognisable.
+	webReg := make(map[int]ir.Reg)
+	for _, id := range entryDef {
+		webReg[find(id)] = defs[id].reg
+	}
+	keepFirst := make(map[ir.Reg]bool)
+	renamed := 0
+	for id := 0; id < nd; id++ {
+		d := defs[id]
+		if d.instr == nil {
+			continue
+		}
+		w := find(id)
+		if _, ok := webReg[w]; ok {
+			continue
+		}
+		if !keepFirst[d.reg] {
+			keepFirst[d.reg] = true
+			webReg[w] = d.reg
+			continue
+		}
+		webReg[w] = f.NewReg(d.reg.Class)
+		renamed++
+	}
+
+	// 5. Rewrite definitions and uses.
+	for id := 0; id < nd; id++ {
+		d := defs[id]
+		if d.instr == nil {
+			continue
+		}
+		r := webReg[find(id)]
+		if d.slot == 0 {
+			d.instr.Def = r
+		} else {
+			d.instr.Def2 = r
+		}
+	}
+	f.Instrs(func(_ *ir.Block, i *ir.Instr) {
+		rw := func(which int, get ir.Reg, put func(ir.Reg)) {
+			if !get.Valid() {
+				return
+			}
+			if id, ok := useDef[useSlot{i, which}]; ok {
+				put(webReg[find(id)])
+			}
+		}
+		rw(0, i.A, func(r ir.Reg) { i.A = r })
+		rw(1, i.B, func(r ir.Reg) { i.B = r })
+		if i.Mem != nil {
+			rw(2, i.Mem.Base, func(r ir.Reg) { i.Mem.Base = r })
+		}
+		for k := range i.CallArgs {
+			k := k
+			rw(3+k, i.CallArgs[k], func(r ir.Reg) { i.CallArgs[k] = r })
+		}
+	})
+	return renamed
+}

@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"gsched/internal/ir"
+	"gsched/internal/machine"
+)
+
+// fbits converts a float64 constant to the raw-bits register value.
+func fbits(v float64) int64 { return int64(math.Float64bits(v)) }
+
+func runFloatProgram(t *testing.T, build func(b *ir.Builder, f *ir.Func), mach *machine.Desc) *Result {
+	t.Helper()
+	prog := ir.NewProgram()
+	prog.AddSym("fm", 16)
+	f := ir.NewFunc("f")
+	b := ir.NewBuilder(f)
+	b.Block("entry")
+	build(b, f)
+	f.ReindexBlocks()
+	prog.AddFunc(f)
+	if err := f.Validate(); err != nil {
+		t.Fatalf("Validate: %v\n%s", err, f)
+	}
+	m, err := Load(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run("f", nil, nil, Options{Machine: mach})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestFloatArithmetic(t *testing.T) {
+	res := runFloatProgram(t, func(b *ir.Builder, f *ir.Func) {
+		x, y := ir.FPR(0), ir.FPR(1)
+		rx, ry := ir.GPR(0), ir.GPR(1)
+		b.LI(rx, 7)
+		b.LI(ry, 2)
+		b.Emit(ir.OpFCvt, func(i *ir.Instr) { i.Def = x; i.A = rx })
+		b.Emit(ir.OpFCvt, func(i *ir.Instr) { i.Def = y; i.A = ry })
+		s := ir.FPR(2)
+		b.Emit(ir.OpFAdd, func(i *ir.Instr) { i.Def = s; i.A = x; i.B = y }) // 9
+		b.Emit(ir.OpFMul, func(i *ir.Instr) { i.Def = s; i.A = s; i.B = y }) // 18
+		b.Emit(ir.OpFDiv, func(i *ir.Instr) { i.Def = s; i.A = s; i.B = x }) // 18/7
+		b.Emit(ir.OpFSub, func(i *ir.Instr) { i.Def = s; i.A = s; i.B = y }) // 18/7-2
+		b.Emit(ir.OpFNeg, func(i *ir.Instr) { i.Def = s; i.A = s })
+		out := ir.GPR(2)
+		// -(18/7-2) = 2-18/7 ≈ -0.571 -> truncates to 0; scale first.
+		big := ir.FPR(3)
+		b.Emit(ir.OpFCvt, func(i *ir.Instr) { i.Def = big; i.A = rx })
+		b.Emit(ir.OpFMul, func(i *ir.Instr) { i.Def = s; i.A = s; i.B = big })
+		b.Emit(ir.OpFTrunc, func(i *ir.Instr) { i.Def = out; i.A = s })
+		b.Ret(out)
+	}, machine.RS6K())
+	want := int64((2.0 - 18.0/7.0) * 7.0) // = int64(-4.0) = -4
+	if res.Ret != want {
+		t.Errorf("ret = %d, want %d", res.Ret, want)
+	}
+}
+
+func TestFloatDivByZeroIsIEEE(t *testing.T) {
+	res := runFloatProgram(t, func(b *ir.Builder, f *ir.Func) {
+		one, zero := ir.FPR(0), ir.FPR(1)
+		r1, r0 := ir.GPR(0), ir.GPR(1)
+		b.LI(r1, 1)
+		b.LI(r0, 0)
+		b.Emit(ir.OpFCvt, func(i *ir.Instr) { i.Def = one; i.A = r1 })
+		b.Emit(ir.OpFCvt, func(i *ir.Instr) { i.Def = zero; i.A = r0 })
+		q := ir.FPR(2)
+		b.Emit(ir.OpFDiv, func(i *ir.Instr) { i.Def = q; i.A = one; i.B = zero })
+		// Compare q against one: +Inf > 1, so GT must be set.
+		cr := ir.CR(0)
+		b.Emit(ir.OpFCmp, func(i *ir.Instr) { i.Def = cr; i.A = q; i.B = one })
+		out := ir.GPR(2)
+		b.LI(out, 0)
+		b.BF("done", cr, ir.BitGT)
+		b.Block("")
+		b.LI(out, 1)
+		b.Block("done")
+		b.Ret(out)
+	}, machine.RS6K())
+	if res.Ret != 1 {
+		t.Errorf("1/0 should be +Inf > 1 (IEEE, no trap); ret = %d", res.Ret)
+	}
+}
+
+func TestFloatMemoryRoundTrip(t *testing.T) {
+	res := runFloatProgram(t, func(b *ir.Builder, f *ir.Func) {
+		base := ir.GPR(0)
+		b.LI(base, 0)
+		x := ir.FPR(0)
+		r := ir.GPR(1)
+		b.LI(r, 21)
+		b.Emit(ir.OpFCvt, func(i *ir.Instr) { i.Def = x; i.A = r })
+		b.Emit(ir.OpFStore, func(i *ir.Instr) {
+			i.A = x
+			i.Mem = &ir.Mem{Sym: "fm", Base: base, Off: 8}
+		})
+		y := ir.FPR(1)
+		b.Emit(ir.OpFLoad, func(i *ir.Instr) {
+			i.Def = y
+			i.Mem = &ir.Mem{Sym: "fm", Base: base, Off: 8}
+		})
+		b.Emit(ir.OpFAdd, func(i *ir.Instr) { i.Def = y; i.A = y; i.B = y })
+		out := ir.GPR(2)
+		b.Emit(ir.OpFTrunc, func(i *ir.Instr) { i.Def = out; i.A = y })
+		b.Ret(out)
+	}, machine.RS6K())
+	if res.Ret != 42 {
+		t.Errorf("ret = %d, want 42", res.Ret)
+	}
+}
+
+// TestFloatUnitRunsInParallel: §2's point — the fixed point and floating
+// point units are separate, so interleaved independent work co-issues.
+func TestFloatUnitRunsInParallel(t *testing.T) {
+	cycles := func(withFloat bool) int64 {
+		return runFloatProgram(t, func(b *ir.Builder, f *ir.Func) {
+			// Eight independent fixed point adds, optionally
+			// interleaved with eight independent float adds.
+			x := ir.FPR(0)
+			rx := ir.GPR(9)
+			b.LI(rx, 3)
+			b.Emit(ir.OpFCvt, func(i *ir.Instr) { i.Def = x; i.A = rx })
+			for k := 0; k < 8; k++ {
+				r := ir.GPR(k)
+				b.LI(r, int64(k))
+				b.OpI(ir.OpAddI, r, r, 7)
+				if withFloat {
+					fk := ir.FPR(k + 1)
+					b.Emit(ir.OpFAdd, func(i *ir.Instr) { i.Def = fk; i.A = x; i.B = x })
+				}
+			}
+			b.Ret(ir.GPR(0))
+		}, machine.RS6K()).Cycles
+	}
+	fixedOnly := cycles(false)
+	mixed := cycles(true)
+	// The float adds ride in the float unit: at most a couple of extra
+	// cycles for the tail, not eight.
+	if mixed > fixedOnly+3 {
+		t.Errorf("float work did not overlap: %d vs %d cycles", mixed, fixedOnly)
+	}
+}
+
+// TestFloatCompareBranchDelay: §2.1's fourth delay kind — five cycles
+// between a floating point compare and the dependent branch.
+func TestFloatCompareBranchDelay(t *testing.T) {
+	run := func(float bool) int64 {
+		return runFloatProgram(t, func(b *ir.Builder, f *ir.Func) {
+			cr := ir.CR(0)
+			if float {
+				x := ir.FPR(0)
+				rx := ir.GPR(0)
+				b.LI(rx, 5)
+				b.Emit(ir.OpFCvt, func(i *ir.Instr) { i.Def = x; i.A = rx })
+				b.Emit(ir.OpFCmp, func(i *ir.Instr) { i.Def = cr; i.A = x; i.B = x })
+			} else {
+				rx := ir.GPR(0)
+				b.LI(rx, 5)
+				b.Cmp(cr, rx, rx)
+			}
+			b.BT("same", cr, ir.BitEQ)
+			b.Block("")
+			b.Ret(ir.GPR(0))
+			b.Block("same")
+			b.Ret(ir.GPR(0))
+		}, machine.RS6K()).Cycles
+	}
+	fixed := run(false)
+	floatC := run(true)
+	d := machine.RS6K()
+	// The float path pays FCVT (+1 instr, +1 float delay) and the
+	// longer compare-branch delay (5 vs 3).
+	wantExtra := int64(1 + d.FloatDelay + d.FloatCmpBranchDelay - d.CmpBranchDelay)
+	if floatC-fixed != wantExtra {
+		t.Errorf("float compare path: %d vs %d cycles (delta %d, want %d)",
+			floatC, fixed, floatC-fixed, wantExtra)
+	}
+}

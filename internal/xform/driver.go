@@ -1,0 +1,210 @@
+package xform
+
+import (
+	"gsched/internal/cfg"
+	"gsched/internal/core"
+	"gsched/internal/ir"
+	"gsched/internal/rename"
+)
+
+// Config selects which parts of the §6 pipeline run.
+type Config struct {
+	// Unroll inner loops of at most UnrollMaxBlocks blocks once before
+	// the first scheduling pass.
+	Unroll          bool
+	UnrollMaxBlocks int
+	// Rotate inner loops of at most RotateMaxBlocks blocks after the
+	// first pass and schedule them again.
+	Rotate          bool
+	RotateMaxBlocks int
+}
+
+// DefaultConfig mirrors the paper's prototype: unroll and rotate inner
+// loops with up to 4 basic blocks.
+func DefaultConfig() Config {
+	return Config{Unroll: true, UnrollMaxBlocks: 4, Rotate: true, RotateMaxBlocks: 4}
+}
+
+// Stats extends the scheduler's statistics with transformation counts.
+type Stats struct {
+	core.Stats
+	LoopsUnrolled int
+	LoopsRotated  int
+}
+
+// Run executes the general flow of the global scheduling prototype
+// (§6): 1. certain inner loops are unrolled; 2. global scheduling is
+// applied to the inner regions; 3. certain inner loops are rotated;
+// 4. global scheduling is applied a second time to the rotated inner
+// loops and the outer regions; finally the basic block scheduler runs on
+// every block.
+func Run(f *ir.Func, opts core.Options, cfgX Config) (Stats, error) {
+	var st Stats
+	g := cfg.Build(f)
+	if opts.Rename {
+		st.RenamedWebs += rename.Run(f, g)
+		opts.Rename = false // done once
+	}
+
+	if opts.Level > core.LevelNone {
+		if cfgX.Unroll {
+			st.LoopsUnrolled = transformInnerLoops(f, cfgX.UnrollMaxBlocks, UnrollOnce)
+		}
+		// First pass: inner regions only.
+		scheduleFiltered(f, &opts, &st.Stats, func(r *cfg.Region, height int) bool {
+			return r.IsLoop && height == 0
+		})
+		rotated := 0
+		if cfgX.Rotate {
+			rotated = transformInnerLoops(f, cfgX.RotateMaxBlocks, Rotate)
+			st.LoopsRotated = rotated
+		}
+		// Second pass: rotated inner loops (now fresh regions) and the
+		// outer regions.
+		scheduleFiltered(f, &opts, &st.Stats, func(r *cfg.Region, height int) bool {
+			if height >= opts.MaxRegionLevels {
+				return false
+			}
+			if r.IsLoop && height == 0 {
+				return rotated > 0 // inner loops again only if rotation changed them
+			}
+			return true
+		})
+	}
+
+	if opts.LocalPass {
+		mach := opts.Machine
+		for _, b := range f.Blocks {
+			core.ScheduleBlockLocal(b, mach)
+			st.LocalBlocks++
+		}
+	}
+	return st, f.Validate()
+}
+
+// RunProgram applies Run to every function of p.
+func RunProgram(p *ir.Program, opts core.Options, cfgX Config) (Stats, error) {
+	var st Stats
+	for _, f := range p.Funcs {
+		s, err := Run(f, opts, cfgX)
+		if err != nil {
+			return st, err
+		}
+		st.Stats.Add(s.Stats)
+		st.LoopsUnrolled += s.LoopsUnrolled
+		st.LoopsRotated += s.LoopsRotated
+	}
+	return st, nil
+}
+
+// TransformOnly applies unrolling and rotation without any global
+// scheduling. It approximates the code replication techniques [GR90] that
+// the paper's BASE compiler already contained ("a set of code replication
+// techniques that solve certain loop-closing delay problems"), and is
+// used by the ablation experiments to separate the transformation's
+// contribution from the global scheduler's.
+func TransformOnly(f *ir.Func, cfgX Config) Stats {
+	var st Stats
+	if cfgX.Unroll {
+		st.LoopsUnrolled = transformInnerLoops(f, cfgX.UnrollMaxBlocks, UnrollOnce)
+	}
+	if cfgX.Rotate {
+		st.LoopsRotated = transformInnerLoops(f, cfgX.RotateMaxBlocks, Rotate)
+	}
+	return st
+}
+
+// TransformOnlyProgram applies TransformOnly to every function.
+func TransformOnlyProgram(p *ir.Program, cfgX Config) Stats {
+	var st Stats
+	for _, f := range p.Funcs {
+		s := TransformOnly(f, cfgX)
+		st.LoopsUnrolled += s.LoopsUnrolled
+		st.LoopsRotated += s.LoopsRotated
+	}
+	return st
+}
+
+// transformInnerLoops repeatedly finds an untouched inner loop of at most
+// maxBlocks blocks and applies xf to it, rebuilding the flow analyses
+// after every change. Returns the number of successful transformations.
+func transformInnerLoops(f *ir.Func, maxBlocks int,
+	xf func(*ir.Func, *cfg.Graph, *cfg.LoopInfo, *cfg.Region) bool) int {
+
+	donePointers := make(map[*ir.Block]bool)
+	count := 0
+	for {
+		g := cfg.Build(f)
+		li := cfg.FindLoops(g)
+		if li.Irreducible {
+			return count
+		}
+		var target *cfg.Region
+		li.Root.Walk(func(r *cfg.Region) {
+			if target != nil || !r.IsLoop || !r.IsInner() {
+				return
+			}
+			if len(r.Blocks) > maxBlocks {
+				return
+			}
+			if donePointers[f.Blocks[r.Header]] {
+				return
+			}
+			target = r
+		})
+		if target == nil {
+			return count
+		}
+		donePointers[f.Blocks[target.Header]] = true
+		if xf(f, g, li, target) {
+			count++
+		}
+	}
+}
+
+// scheduleFiltered schedules the regions selected by keep (given the
+// region and its nesting height), innermost first, honouring the size
+// caps in opts.
+func scheduleFiltered(f *ir.Func, opts *core.Options, st *core.Stats,
+	keep func(r *cfg.Region, height int) bool) {
+
+	g := cfg.Build(f)
+	li := cfg.FindLoops(g)
+	if li.Irreducible {
+		st.RegionsSkipped++
+		return
+	}
+	li.Root.Walk(func(r *cfg.Region) {
+		h := heightOf(r)
+		if !keep(r, h) {
+			return
+		}
+		if opts.MaxRegionBlocks > 0 && len(r.Blocks) > opts.MaxRegionBlocks {
+			st.RegionsSkipped++
+			return
+		}
+		if opts.MaxRegionInstrs > 0 {
+			n := 0
+			for _, b := range r.Blocks {
+				n += len(f.Blocks[b].Instrs)
+			}
+			if n > opts.MaxRegionInstrs {
+				st.RegionsSkipped++
+				return
+			}
+		}
+		if err := core.ScheduleRegion(f, g, li, r, opts, st); err != nil {
+			st.RegionsSkipped++
+		}
+	})
+}
+
+func heightOf(r *cfg.Region) int {
+	h := 0
+	for _, in := range r.Inner {
+		if ch := heightOf(in) + 1; ch > h {
+			h = ch
+		}
+	}
+	return h
+}

@@ -1,0 +1,123 @@
+package xform
+
+import (
+	"gsched/internal/cfg"
+	"gsched/internal/ir"
+)
+
+// Rotate performs the paper's loop rotation (§6): the first basic block
+// of a small inner loop is copied after the end of the loop, turning a
+// top-test loop into a bottom-test one whose body begins with the old
+// body. Applying global scheduling a second time to the rotated loop
+// achieves a partial software pipelining effect — instructions of the
+// next iteration (the copied test block typically contains the loads and
+// the exit compare) are executed within the body of the previous one.
+//
+// Eligibility: the region is a loop whose header ends in a conditional
+// branch with exactly one successor inside the loop and one outside, the
+// loop is contiguous in layout, and all back edges branch explicitly to
+// the header. Returns false without modifying f otherwise.
+func Rotate(f *ir.Func, g *cfg.Graph, li *cfg.LoopInfo, r *cfg.Region) bool {
+	if !r.IsLoop || len(r.Blocks) < 2 {
+		return false
+	}
+	lo, hi := r.Blocks[0], r.Blocks[len(r.Blocks)-1]
+	if hi-lo+1 != len(r.Blocks) {
+		return false
+	}
+	header := f.Blocks[r.Header]
+	term := header.Terminator()
+	if term == nil || term.Op != ir.OpBC {
+		return false
+	}
+	inLoop := make(map[int]bool)
+	for _, bi := range r.Blocks {
+		inLoop[bi] = true
+	}
+	succs := ir.Succs(f, header)
+	if len(succs) != 2 {
+		return false
+	}
+	var bodyFirst, exit *ir.Block
+	for _, s := range succs {
+		if inLoop[s.Index] {
+			if bodyFirst != nil {
+				return false // both successors inside: bottom-test loop
+			}
+			bodyFirst = s
+		} else {
+			exit = s
+		}
+	}
+	if bodyFirst == nil || exit == nil {
+		return false
+	}
+	// The in-loop successor must be the fallthrough (header branches out
+	// on exit); the common while-loop shape. The other orientation
+	// (header branches into the loop) would need an inverted copy.
+	if f.BlockByLabel(term.Target) != exit {
+		return false
+	}
+	// All back edges must branch explicitly to the header.
+	for _, u := range r.Blocks {
+		if li.IsBackEdge(u, r.Header) {
+			t := f.Blocks[u].Terminator()
+			if t == nil || !t.Op.IsBranch() || t.Target != header.Label {
+				return false
+			}
+		}
+	}
+	lc := &labelCounter{f: f}
+	bodyLabel := lc.ensureLabel(bodyFirst)
+	exitLabel := lc.ensureLabel(exit)
+
+	// Build the rotated copy H': the header's instructions with the
+	// branch sense inverted — branch back to the body while the loop
+	// continues, fall through to the exit.
+	rot := &ir.Block{Label: lc.fresh(header.Label + ".rot")}
+	for _, i := range header.Instrs {
+		ci := f.CloneInstr(i)
+		if ci == nil {
+			return false
+		}
+		rot.Instrs = append(rot.Instrs, ci)
+	}
+	rt := rot.Instrs[len(rot.Instrs)-1]
+	rt.OnTrue = !rt.OnTrue
+	rt.Target = bodyLabel
+
+	// Back edges now reach the rotated copy.
+	for _, u := range r.Blocks {
+		if li.IsBackEdge(u, r.Header) {
+			f.Blocks[u].Terminator().Target = rot.Label
+		}
+	}
+
+	// Place H' after the last loop block. If that block can fall
+	// through, its fallthrough semantics must be preserved with an
+	// explicit jump around H'.
+	at := hi + 1
+	last := f.Blocks[hi]
+	if t := last.Terminator(); t == nil || t.Op == ir.OpBC {
+		if hi+1 >= len(f.Blocks) {
+			return false
+		}
+		after := f.Blocks[hi+1]
+		jb := &ir.Block{}
+		j := f.NewInstr(ir.OpB)
+		j.Target = lc.ensureLabel(after)
+		jb.Instrs = []*ir.Instr{j}
+		insertBlocks(f, at, []*ir.Block{jb})
+		at++
+	}
+	// H' falls through past the end when placed last: give it an
+	// explicit jump to the exit unless the exit directly follows.
+	insertBlocks(f, at, []*ir.Block{rot})
+	if at+1 >= len(f.Blocks) || f.Blocks[at+1] != exit {
+		j := f.NewInstr(ir.OpB)
+		j.Target = exitLabel
+		jb := &ir.Block{Instrs: []*ir.Instr{j}}
+		insertBlocks(f, at+1, []*ir.Block{jb})
+	}
+	return true
+}

@@ -1,0 +1,149 @@
+// Package xform implements the loop transformations of the paper's §6
+// configuration: unrolling inner loops once before global scheduling,
+// rotating small inner loops afterwards (copying the loop-test block to
+// the bottom so that a second scheduling pass achieves a partial software
+// pipelining effect), and the driver that sequences unroll → schedule →
+// rotate → schedule → local pass.
+package xform
+
+import (
+	"fmt"
+
+	"gsched/internal/cfg"
+	"gsched/internal/ir"
+)
+
+// labelCounter generates fresh labels per function.
+type labelCounter struct {
+	f *ir.Func
+	n int
+}
+
+func (lc *labelCounter) fresh(prefix string) string {
+	for {
+		lc.n++
+		l := fmt.Sprintf("%s.%d", prefix, lc.n)
+		if lc.f.BlockByLabel(l) == nil {
+			return l
+		}
+	}
+}
+
+// ensureLabel gives b a label if it has none.
+func (lc *labelCounter) ensureLabel(b *ir.Block) string {
+	if b.Label == "" {
+		b.Label = lc.fresh("XL")
+	}
+	return b.Label
+}
+
+// UnrollOnce duplicates the body of the loop region r so the loop covers
+// two original iterations per trip (the paper unrolls inner loops of up
+// to 4 basic blocks once, §6). All exit tests are kept, so the
+// transformation is valid for any trip count. It returns false without
+// changing f when the loop shape is unsupported (non-contiguous layout,
+// fallthrough back edge, or a region that is not a loop).
+func UnrollOnce(f *ir.Func, g *cfg.Graph, li *cfg.LoopInfo, r *cfg.Region) bool {
+	if !r.IsLoop {
+		return false
+	}
+	// The loop blocks must be contiguous in layout so the clone can be
+	// placed right after them with fallthroughs preserved.
+	lo, hi := r.Blocks[0], r.Blocks[len(r.Blocks)-1]
+	if hi-lo+1 != len(r.Blocks) {
+		return false
+	}
+	// Every back edge must be an explicit branch to the header.
+	header := f.Blocks[r.Header]
+	for _, u := range r.Blocks {
+		if li.IsBackEdge(u, r.Header) {
+			t := f.Blocks[u].Terminator()
+			if t == nil || !t.Op.IsBranch() || t.Target != header.Label {
+				return false
+			}
+		}
+	}
+	if header.Label == "" {
+		return false
+	}
+	lc := &labelCounter{f: f}
+
+	// Make sure fallthrough exits of the last loop block survive the
+	// insertion of clones after it: if the last loop block can fall
+	// through (no terminator or a conditional branch), the block after
+	// the loop must be reachable by an explicit jump from the clone
+	// instead; the original keeps falling through to the clone? No —
+	// the clone of the last block sits right before the after-loop
+	// block, so its fallthrough lands correctly; it is the ORIGINAL
+	// last block whose fallthrough now hits the clone of the first
+	// block. Guard: the original last block must not fall through.
+	last := f.Blocks[hi]
+	if t := last.Terminator(); t == nil || t.Op == ir.OpBC {
+		// It falls through out of the loop (a conditional back edge
+		// falls through to the exit, like Figure 2's BL10). After
+		// cloning, its fallthrough must skip the clones: insert an
+		// explicit branch to the current fallthrough target.
+		if hi+1 >= len(f.Blocks) {
+			return false
+		}
+		after := f.Blocks[hi+1]
+		b := f.NewInstr(ir.OpB)
+		b.Target = lc.ensureLabel(after)
+		// The branch lives in a tiny new block appended between the
+		// loop and the clones, so the conditional terminator of the
+		// last block stays a terminator.
+		jb := &ir.Block{Label: "", Instrs: []*ir.Instr{b}}
+		insertBlocks(f, hi+1, []*ir.Block{jb})
+		hi++
+	}
+
+	// Clone the loop blocks.
+	cloneLabel := make(map[string]string)
+	for _, bi := range r.Blocks {
+		b := f.Blocks[bi]
+		if b.Label != "" {
+			cloneLabel[b.Label] = lc.fresh(b.Label + ".u")
+		}
+	}
+	inLoop := make(map[int]bool)
+	for _, bi := range r.Blocks {
+		inLoop[bi] = true
+	}
+	var clones []*ir.Block
+	for _, bi := range r.Blocks {
+		b := f.Blocks[bi]
+		nb := &ir.Block{Label: cloneLabel[b.Label]}
+		for _, i := range b.Instrs {
+			ci := f.CloneInstr(i)
+			if ci.Op.IsBranch() {
+				if nl, ok := cloneLabel[ci.Target]; ok {
+					// Intra-loop target: to the cloned copy — except
+					// the back edge, which returns to the original
+					// header (completing the two-iteration cycle).
+					if ci.Target == header.Label && li.IsBackEdge(bi, r.Header) {
+						// keep original header target
+					} else {
+						ci.Target = nl
+					}
+				}
+			}
+			nb.Instrs = append(nb.Instrs, ci)
+		}
+		clones = append(clones, nb)
+	}
+	// Original back edges now continue into the clone of the header.
+	for _, u := range r.Blocks {
+		if li.IsBackEdge(u, r.Header) {
+			t := f.Blocks[u].Terminator()
+			t.Target = cloneLabel[header.Label]
+		}
+	}
+	insertBlocks(f, hi+1, clones)
+	return true
+}
+
+// insertBlocks splices blocks into f.Blocks at index at and reindexes.
+func insertBlocks(f *ir.Func, at int, blocks []*ir.Block) {
+	f.Blocks = append(f.Blocks[:at], append(blocks, f.Blocks[at:]...)...)
+	f.ReindexBlocks()
+}
