@@ -35,6 +35,7 @@ var (
 	lang     = flag.String("lang", "", "input language: c or asm (default: by file extension)")
 	dot      = flag.String("dot", "", "emit the Graphviz CFG of this function to stdout")
 	trace    = flag.Int64("trace", 0, "with -run: print the issue trace of the first N instructions")
+	verifyF  = flag.Bool("verify", false, "check every schedule with the independent legality verifier; fail on violations")
 )
 
 func main() {
@@ -85,6 +86,7 @@ func realMain(path string) error {
 		return err
 	}
 	opts := gsched.Defaults(mach, lv)
+	opts.Verify = *verifyF
 	var st gsched.PipelineStats
 	if *pipeline {
 		st, err = gsched.SchedulePipeline(prog, opts, gsched.DefaultPipeline())

@@ -1,0 +1,60 @@
+package gsched_test
+
+import (
+	"testing"
+
+	"gsched"
+	"gsched/internal/progen"
+)
+
+// FuzzSchedule drives the two-oracle property from a fuzzed generator
+// seed: the program progen derives from the seed is scheduled at every
+// level through the full pipeline with the static legality verifier
+// enabled (Options.Verify), and the scheduled program must behave
+// exactly like the unscheduled one on the simulator. Run with
+//
+//	go test -fuzz=FuzzSchedule .
+func FuzzSchedule(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	levels := []gsched.Level{gsched.LevelNone, gsched.LevelUseful, gsched.LevelSpeculative}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		p := progen.New(seed)
+		base, err := gsched.CompileC(p.Source)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		want, err := gsched.Run(base, p.Entry, p.Args, nil, gsched.RunOptions{MaxInstrs: 20_000_000})
+		if err != nil {
+			t.Fatalf("seed %d: baseline run: %v", seed, err)
+		}
+		for _, lv := range levels {
+			prog, err := gsched.CompileC(p.Source)
+			if err != nil {
+				t.Fatalf("seed %d: compile: %v", seed, err)
+			}
+			opts := gsched.Defaults(gsched.RS6K(), lv)
+			opts.Verify = true
+			opts.Duplicate = lv == gsched.LevelSpeculative
+			if _, err := gsched.SchedulePipeline(prog, opts, gsched.DefaultPipeline()); err != nil {
+				t.Fatalf("seed %d level %v: %v\n%s", seed, lv, err, p.Source)
+			}
+			if err := prog.Validate(); err != nil {
+				t.Fatalf("seed %d level %v: invalid ir after pipeline: %v", seed, lv, err)
+			}
+			got, err := gsched.Run(prog, p.Entry, p.Args, nil, gsched.RunOptions{
+				Machine:        gsched.RS6K(),
+				ForgivingLoads: lv >= gsched.LevelSpeculative,
+				MaxInstrs:      20_000_000,
+			})
+			if err != nil {
+				t.Fatalf("seed %d level %v: scheduled run: %v\n%s", seed, lv, err, p.Source)
+			}
+			if got.Ret != want.Ret || got.PrintedString() != want.PrintedString() {
+				t.Fatalf("seed %d level %v: ret=%d/%q want %d/%q\n%s",
+					seed, lv, got.Ret, got.PrintedString(), want.Ret, want.PrintedString(), p.Source)
+			}
+		}
+	})
+}

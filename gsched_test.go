@@ -33,6 +33,9 @@ int sum(int n) {
 		if level > gsched.LevelNone && st.RegionsScheduled == 0 {
 			t.Errorf("level %v: no regions scheduled", level)
 		}
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("level %v: invalid ir after pipeline: %v", level, err)
+		}
 		res, err := gsched.Run(prog, "sum", []int64{8}, nil,
 			gsched.RunOptions{Machine: gsched.RS6K(), ForgivingLoads: true})
 		if err != nil {
@@ -117,6 +120,9 @@ int f(int a) {
 	}
 	if _, err := gsched.SchedulePipeline(prog, gsched.Defaults(gsched.RS6K(), gsched.LevelSpeculative), gsched.DefaultPipeline()); err != nil {
 		t.Fatal(err)
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("invalid ir after pipeline: %v", err)
 	}
 	ast, err := gsched.Allocate(prog, gsched.RS6KRegs())
 	if err != nil {

@@ -1,0 +1,43 @@
+package asm
+
+import (
+	"testing"
+
+	"gsched/internal/minic"
+	"gsched/internal/progen"
+)
+
+// FuzzParseAsm feeds arbitrary text to the assembly parser. The parser
+// must never panic, and anything it accepts must round-trip: printing
+// the parsed program and parsing that text again must succeed and reach
+// a print fixpoint. Run with
+//
+//	go test -fuzz=FuzzParseAsm ./internal/asm
+func FuzzParseAsm(f *testing.F) {
+	f.Add("data a 4096\nfunc main r1 r2:\nCL.0:\n\tAI r3=r1,1\n\tRET r3\n")
+	f.Add("data seed 1 = 42\nfunc f:\nCL.0:\n\tL r2=seed(r0,0)\n\tC cr7=r2,r0\n\tBF CL.1,cr7,gt\n\tRET r2\nCL.1:\n\tLI r4=7\n\tRET r4\n")
+	f.Add("func main:\nCL.0:\n\tBCT CL.0,ctr\n\tRET r0\n")
+	// Real compiled programs make the deepest seeds: every opcode the
+	// printer can emit appears in some generated program.
+	for seed := int64(0); seed < 3; seed++ {
+		prog, err := minic.Compile(progen.New(seed).Source)
+		if err != nil {
+			f.Fatalf("seed %d: %v", seed, err)
+		}
+		f.Add(Print(prog))
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejecting the input is fine; panicking is not
+		}
+		text := Print(prog)
+		prog2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("accepted program does not reparse: %v\nprinted:\n%s", err, text)
+		}
+		if text2 := Print(prog2); text2 != text {
+			t.Fatalf("print not a fixpoint:\nfirst:\n%s\nsecond:\n%s", text, text2)
+		}
+	})
+}

@@ -14,6 +14,7 @@ package core
 import (
 	"gsched/internal/machine"
 	"gsched/internal/profile"
+	"gsched/internal/verify"
 )
 
 // Level selects how much global motion is allowed.
@@ -94,6 +95,31 @@ type Options struct {
 	MaxRegionBlocks int
 	MaxRegionInstrs int
 	MaxRegionLevels int
+
+	// Verify snapshots every function before scheduling and checks the
+	// result with the independent legality verifier (internal/verify):
+	// instruction accounting, dependence order on every path, and the
+	// §3 motion rules. Scheduling fails with a precise diagnostic if
+	// any check trips. Intended for debugging and property tests; adds
+	// one snapshot plus an O(instructions²) analysis per function.
+	Verify bool
+}
+
+// VerifyRules maps the scheduling options to the legality rules the
+// verifier should enforce on the resulting schedule.
+func (o *Options) VerifyRules() verify.Rules {
+	r := verify.Rules{
+		CrossBlock:     o.Level > LevelNone,
+		SpeculateLoads: o.SpeculateLoads,
+	}
+	if o.Level >= LevelSpeculative {
+		r.MaxSpecDepth = o.SpecDegree
+		if r.MaxSpecDepth < 1 {
+			r.MaxSpecDepth = 1
+		}
+		r.AllowDuplication = o.Duplicate
+	}
+	return r
 }
 
 // Defaults returns the configuration used for the paper's experiments at

@@ -8,6 +8,7 @@ import (
 	"gsched/internal/ir"
 	"gsched/internal/pdg"
 	"gsched/internal/rename"
+	"gsched/internal/verify"
 )
 
 // ScheduleFunc runs the full scheduling pipeline on one function:
@@ -24,6 +25,11 @@ func ScheduleFunc(f *ir.Func, opts Options) (Stats, error) {
 		st.RenamedWebs = rename.Run(f, g)
 	}
 
+	var snap *verify.Snapshot
+	if opts.Verify {
+		snap = verify.Capture(f)
+	}
+
 	if opts.Level > LevelNone {
 		li := cfg.FindLoops(g)
 		if !li.Irreducible {
@@ -37,6 +43,12 @@ func ScheduleFunc(f *ir.Func, opts Options) (Stats, error) {
 		for _, b := range f.Blocks {
 			ScheduleBlockLocal(b, opts.Machine)
 			st.LocalBlocks++
+		}
+	}
+
+	if opts.Verify {
+		if err := verify.Check(snap, f, opts.VerifyRules()); err != nil {
+			return st, fmt.Errorf("core: illegal schedule: %w", err)
 		}
 	}
 	return st, nil

@@ -35,11 +35,13 @@ type BlockStmt struct {
 	Stmts []Stmt
 }
 
-// DeclStmt declares a local: int name = init; (init may be nil).
+// DeclStmt declares a local: int name = init; or float name = init;
+// (init may be nil).
 type DeclStmt struct {
-	Name string
-	Init Expr
-	Line int
+	Name  string
+	Float bool
+	Init  Expr
+	Line  int
 }
 
 // AssignStmt stores into a variable or array element. Op is Assign,
@@ -131,6 +133,12 @@ type NumExpr struct {
 	Line  int
 }
 
+// FNumExpr is a float literal.
+type FNumExpr struct {
+	Value float64
+	Line  int
+}
+
 // VarExpr reads a scalar variable (local, parameter, or global).
 type VarExpr struct {
 	Name string
@@ -167,6 +175,7 @@ type CallExpr struct {
 }
 
 func (*NumExpr) expr()   {}
+func (*FNumExpr) expr()  {}
 func (*VarExpr) expr()   {}
 func (*IndexExpr) expr() {}
 func (*UnaryExpr) expr() {}

@@ -2,6 +2,7 @@ package minic
 
 import (
 	"fmt"
+	"math"
 
 	"gsched/internal/ir"
 )
@@ -93,14 +94,71 @@ func (g *gen) block(label string) { g.b.Block(label) }
 func (g *gen) pushScope() { g.scopes = append(g.scopes, make(map[string]ir.Reg)) }
 func (g *gen) popScope()  { g.scopes = g.scopes[:len(g.scopes)-1] }
 
-func (g *gen) declare(name string, line int) (ir.Reg, error) {
+func (g *gen) declare(name string, class ir.RegClass, line int) (ir.Reg, error) {
 	scope := g.scopes[len(g.scopes)-1]
 	if _, dup := scope[name]; dup {
 		return ir.NoReg, errAt(line, 1, "%q redeclared in this scope", name)
 	}
-	r := g.f.NewReg(ir.ClassGPR)
+	r := g.f.NewReg(class)
 	scope[name] = r
 	return r, nil
+}
+
+// isF reports whether a value register holds a float.
+func isF(r ir.Reg) bool { return r.Class == ir.ClassFPR }
+
+// toFloat coerces a value to the float register class (FCVT).
+func (g *gen) toFloat(r ir.Reg) ir.Reg {
+	if isF(r) {
+		return r
+	}
+	t := g.f.NewReg(ir.ClassFPR)
+	g.cur().Emit(ir.OpFCvt, func(i *ir.Instr) { i.Def = t; i.A = r })
+	return t
+}
+
+// toInt coerces a value to the fixed register class (FTRUNC).
+func (g *gen) toInt(r ir.Reg) ir.Reg {
+	if !isF(r) {
+		return r
+	}
+	t := g.f.NewReg(ir.ClassGPR)
+	g.cur().Emit(ir.OpFTrunc, func(i *ir.Instr) { i.Def = t; i.A = r })
+	return t
+}
+
+// floatNum materialises a float literal. The machine has no float
+// immediates and the object format no float data, so literals are built
+// arithmetically: the exact small rational num/10^k when one exists
+// (every source literal like 2.5 does), otherwise truncated to an
+// integer. Both paths are deterministic, which is what the differential
+// oracle needs.
+func (g *gen) floatNum(v float64) ir.Reg {
+	num, den := v, int64(1)
+	for i := 0; i < 15 && num != math.Trunc(num); i++ {
+		num *= 10
+		den *= 10
+	}
+	f := g.f.NewReg(ir.ClassFPR)
+	if math.IsNaN(num) || math.Abs(num) >= 1<<53 {
+		z := g.f.NewReg(ir.ClassGPR)
+		g.cur().LI(z, 0)
+		g.cur().Emit(ir.OpFCvt, func(i *ir.Instr) { i.Def = f; i.A = z })
+		return f
+	}
+	n := g.f.NewReg(ir.ClassGPR)
+	g.cur().LI(n, int64(num))
+	g.cur().Emit(ir.OpFCvt, func(i *ir.Instr) { i.Def = f; i.A = n })
+	if den == 1 {
+		return f
+	}
+	d := g.f.NewReg(ir.ClassGPR)
+	g.cur().LI(d, den)
+	fd := g.f.NewReg(ir.ClassFPR)
+	g.cur().Emit(ir.OpFCvt, func(i *ir.Instr) { i.Def = fd; i.A = d })
+	q := g.f.NewReg(ir.ClassFPR)
+	g.cur().Emit(ir.OpFDiv, func(i *ir.Instr) { i.Def = q; i.A = f; i.B = fd })
+	return q
 }
 
 func (g *gen) lookup(name string) (ir.Reg, bool) {
@@ -121,7 +179,7 @@ func (g *gen) genFunc(fn *FuncDecl) error {
 	g.pushScope()
 	g.block("entry")
 	for _, p := range fn.Params {
-		r, err := g.declare(p, fn.Line)
+		r, err := g.declare(p, ir.ClassGPR, fn.Line)
 		if err != nil {
 			return err
 		}
@@ -177,7 +235,11 @@ func (g *gen) genStmt(s Stmt) error {
 		return g.genBlockStmt(s)
 
 	case *DeclStmt:
-		r, err := g.declare(s.Name, s.Line)
+		class := ir.ClassGPR
+		if s.Float {
+			class = ir.ClassFPR
+		}
+		r, err := g.declare(s.Name, class, s.Line)
 		if err != nil {
 			return err
 		}
@@ -186,7 +248,9 @@ func (g *gen) genStmt(s Stmt) error {
 			if err != nil {
 				return err
 			}
-			g.cur().LR(r, v)
+			g.move(r, v)
+		} else if s.Float {
+			g.move(r, g.floatNum(0))
 		} else {
 			g.cur().LI(r, 0)
 		}
@@ -202,13 +266,24 @@ func (g *gen) genStmt(s Stmt) error {
 			if err != nil {
 				return err
 			}
-			t := g.f.NewReg(ir.ClassGPR)
-			op := ir.OpAdd
-			if s.Op == MinusAssign {
-				op = ir.OpSub
+			if isF(old) || isF(val) {
+				t := g.f.NewReg(ir.ClassFPR)
+				op := ir.OpFAdd
+				if s.Op == MinusAssign {
+					op = ir.OpFSub
+				}
+				a, b := g.toFloat(old), g.toFloat(val)
+				g.cur().Emit(op, func(i *ir.Instr) { i.Def = t; i.A = a; i.B = b })
+				val = t
+			} else {
+				t := g.f.NewReg(ir.ClassGPR)
+				op := ir.OpAdd
+				if s.Op == MinusAssign {
+					op = ir.OpSub
+				}
+				g.cur().Op2(op, t, old, val)
+				val = t
 			}
-			g.cur().Op2(op, t, old, val)
-			val = t
 		}
 		return g.storeLValue(s.Target, val)
 
@@ -217,11 +292,17 @@ func (g *gen) genStmt(s Stmt) error {
 		if err != nil {
 			return err
 		}
-		t := g.f.NewReg(ir.ClassGPR)
 		d := int64(1)
 		if s.Dec {
 			d = -1
 		}
+		if isF(old) {
+			one := g.floatNum(float64(d))
+			t := g.f.NewReg(ir.ClassFPR)
+			g.cur().Emit(ir.OpFAdd, func(i *ir.Instr) { i.Def = t; i.A = old; i.B = one })
+			return g.storeLValue(s.Target, t)
+		}
+		t := g.f.NewReg(ir.ClassGPR)
 		g.cur().AI(t, old, d)
 		return g.storeLValue(s.Target, t)
 
@@ -333,7 +414,7 @@ func (g *gen) genStmt(s Stmt) error {
 		if err != nil {
 			return err
 		}
-		g.cur().Ret(v)
+		g.cur().Ret(g.toInt(v))
 		g.b.Cur = nil
 		return nil
 
@@ -372,16 +453,27 @@ func (g *gen) jumpTo(lbl string) {
 	g.b.Cur = nil
 }
 
+// move copies val into dst, coercing across register classes.
+func (g *gen) move(dst, val ir.Reg) {
+	if isF(dst) {
+		v := g.toFloat(val)
+		g.cur().Emit(ir.OpFMove, func(i *ir.Instr) { i.Def = dst; i.A = v })
+		return
+	}
+	g.cur().LR(dst, g.toInt(val))
+}
+
 // loadLValue reads the current value of an lvalue.
 func (g *gen) loadLValue(lv *LValue) (ir.Reg, error) {
 	return g.genExprVar(lv.Name, lv.Index, lv.Line)
 }
 
-// storeLValue writes val into the lvalue.
+// storeLValue writes val into the lvalue. Memory holds ints only, so
+// float values are truncated on the way into globals and arrays.
 func (g *gen) storeLValue(lv *LValue, val ir.Reg) error {
 	if lv.Index == nil {
 		if r, ok := g.lookup(lv.Name); ok {
-			g.cur().LR(r, val)
+			g.move(r, val)
 			return nil
 		}
 		gd := g.globals[lv.Name]
@@ -391,7 +483,7 @@ func (g *gen) storeLValue(lv *LValue, val ir.Reg) error {
 		if gd.Size > 0 {
 			return errAt(lv.Line, 1, "array %q assigned without an index", lv.Name)
 		}
-		g.cur().Store(lv.Name, ir.NoReg, 0, val)
+		g.cur().Store(lv.Name, ir.NoReg, 0, g.toInt(val))
 		return nil
 	}
 	gd := g.globals[lv.Name]
@@ -408,7 +500,7 @@ func (g *gen) storeLValue(lv *LValue, val ir.Reg) error {
 	if err != nil {
 		return err
 	}
-	g.cur().Store(lv.Name, addr, 0, val)
+	g.cur().Store(lv.Name, addr, 0, g.toInt(val))
 	return nil
 }
 
@@ -426,7 +518,7 @@ func (g *gen) genIndexAddr(idx Expr) (ir.Reg, error) {
 		return ir.NoReg, err
 	}
 	r := g.f.NewReg(ir.ClassGPR)
-	g.cur().OpI(ir.OpShlI, r, v, 2)
+	g.cur().OpI(ir.OpShlI, r, g.toInt(v), 2)
 	return r, nil
 }
 
@@ -482,6 +574,9 @@ func (g *gen) genExpr(e Expr) (ir.Reg, error) {
 		g.cur().LI(r, e.Value)
 		return r, nil
 
+	case *FNumExpr:
+		return g.floatNum(e.Value), nil
+
 	case *VarExpr:
 		return g.genExprVar(e.Name, nil, e.Line)
 
@@ -496,6 +591,12 @@ func (g *gen) genExpr(e Expr) (ir.Reg, error) {
 		if err != nil {
 			return ir.NoReg, err
 		}
+		if e.Op == Minus && isF(x) {
+			r := g.f.NewReg(ir.ClassFPR)
+			g.cur().Emit(ir.OpFNeg, func(i *ir.Instr) { i.Def = r; i.A = x })
+			return r, nil
+		}
+		x = g.toInt(x)
 		r := g.f.NewReg(ir.ClassGPR)
 		if e.Op == Minus {
 			g.cur().Emit(ir.OpNeg, func(i *ir.Instr) { i.Def = r; i.A = x })
@@ -518,7 +619,7 @@ func (g *gen) genExpr(e Expr) (ir.Reg, error) {
 		}
 		// Constant right operands use the immediate forms, matching
 		// the paper's AI-style code.
-		if n, isNum := e.Y.(*NumExpr); isNum {
+		if n, isNum := e.Y.(*NumExpr); isNum && !isF(x) {
 			if iop, okI := immOp(op); okI {
 				r := g.f.NewReg(ir.ClassGPR)
 				imm := n.Value
@@ -533,6 +634,16 @@ func (g *gen) genExpr(e Expr) (ir.Reg, error) {
 		if err != nil {
 			return ir.NoReg, err
 		}
+		if isF(x) || isF(y) {
+			if fop, okF := floatOp(op); okF {
+				a, b := g.toFloat(x), g.toFloat(y)
+				r := g.f.NewReg(ir.ClassFPR)
+				g.cur().Emit(fop, func(i *ir.Instr) { i.Def = r; i.A = a; i.B = b })
+				return r, nil
+			}
+			// Integer-only operators truncate their float operands.
+			x, y = g.toInt(x), g.toInt(y)
+		}
 		r := g.f.NewReg(ir.ClassGPR)
 		g.cur().Op2(op, r, x, y)
 		return r, nil
@@ -541,6 +652,22 @@ func (g *gen) genExpr(e Expr) (ir.Reg, error) {
 		return g.genCall(e, true)
 	}
 	return ir.NoReg, fmt.Errorf("minic: internal: unknown expression %T", e)
+}
+
+// floatOp maps an integer opcode to its float counterpart when the
+// operator exists on floats.
+func floatOp(op ir.Op) (ir.Op, bool) {
+	switch op {
+	case ir.OpAdd:
+		return ir.OpFAdd, true
+	case ir.OpSub:
+		return ir.OpFSub, true
+	case ir.OpMul:
+		return ir.OpFMul, true
+	case ir.OpDiv:
+		return ir.OpFDiv, true
+	}
+	return op, false
 }
 
 // immOp maps a register-register opcode to its immediate form when one
@@ -572,7 +699,8 @@ func (g *gen) genCall(e *CallExpr, wantValue bool) (ir.Reg, error) {
 		if err != nil {
 			return ir.NoReg, err
 		}
-		args = append(args, r)
+		// All call interfaces (including print) take ints.
+		args = append(args, g.toInt(r))
 	}
 	switch e.Name {
 	case "print", "putchar":
@@ -634,14 +762,21 @@ func (g *gen) genCondJump(cond Expr, lbl string, want bool) error {
 				return err
 			}
 			cr := g.f.NewReg(ir.ClassCR)
-			if n, isNum := e.Y.(*NumExpr); isNum {
+			if n, isNum := e.Y.(*NumExpr); isNum && !isF(x) {
 				g.cur().CmpI(cr, x, n.Value)
 			} else {
 				y, err := g.genExpr(e.Y)
 				if err != nil {
 					return err
 				}
-				g.cur().Cmp(cr, x, y)
+				if isF(x) || isF(y) {
+					// FCmp sets the same LT/GT/EQ bits as Cmp, so the
+					// branch emission below is shared.
+					a, b := g.toFloat(x), g.toFloat(y)
+					g.cur().Emit(ir.OpFCmp, func(i *ir.Instr) { i.Def = cr; i.A = a; i.B = b })
+				} else {
+					g.cur().Cmp(cr, x, y)
+				}
 			}
 			g.emitCmpBranch(e.Op, cr, lbl, want)
 			return nil
@@ -693,7 +828,12 @@ func (g *gen) genCondJump(cond Expr, lbl string, want bool) error {
 		return err
 	}
 	cr := g.f.NewReg(ir.ClassCR)
-	g.cur().CmpI(cr, v, 0)
+	if isF(v) {
+		zero := g.floatNum(0)
+		g.cur().Emit(ir.OpFCmp, func(i *ir.Instr) { i.Def = cr; i.A = v; i.B = zero })
+	} else {
+		g.cur().CmpI(cr, v, 0)
+	}
 	if want {
 		g.emitBranch(lbl, cr, ir.BitEQ, false) // non-zero: eq clear
 	} else {

@@ -1,0 +1,50 @@
+package minic_test
+
+import (
+	"testing"
+
+	"gsched/internal/minic"
+	"gsched/internal/sim"
+)
+
+func TestFloatEndToEnd(t *testing.T) {
+	src := `
+int out[4];
+int main(int p0, int p1) {
+	float x = 2.5;
+	float y = 0.5;
+	float z = x * y + 1.25;   // 2.5
+	out[0] = z * 2;           // 5 -> truncated store
+	float q = p0;             // int->float coercion
+	q += 0.75;
+	if (q > 3.0) { out[1] = 1; } else { out[1] = 2; }
+	int k = 0;
+	float acc = 0.0;
+	while (k < 4) { acc += 0.25; k++; }
+	out[2] = acc * 4.0;       // 4
+	out[3] = -x;              // -2 truncated
+	if (acc) { print(7); }
+	return out[0] + out[1]*10 + out[2]*100 + out[3]*1000;
+}
+`
+	prog, err := minic.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m, err := sim.Load(prog)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	res, err := m.Run("main", []int64{5, 0}, nil, sim.Options{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// out[0]=5, out[1]=1 (5.75>3), out[2]=4, out[3]=-2
+	want := int64(5 + 1*10 + 4*100 + (-2)*1000)
+	if res.Ret != want {
+		t.Fatalf("got %d want %d", res.Ret, want)
+	}
+	if len(res.Printed) != 1 || res.Printed[0] != 7 {
+		t.Fatalf("print output = %v", res.Printed)
+	}
+}

@@ -1,0 +1,32 @@
+package minic_test
+
+import (
+	"testing"
+
+	"gsched/internal/minic"
+)
+
+// FuzzCompileC feeds arbitrary source to the mini-C front end. The
+// compiler must never panic: it either reports a compile error or
+// produces a program that passes the ir validator. Run with
+//
+//	go test -fuzz=FuzzCompileC ./internal/minic
+func FuzzCompileC(f *testing.F) {
+	f.Add("int main(int a, int b) { return a + b; }")
+	f.Add("int g[8] = {1, 2, 3};\nint s = 4;\nint main(int a, int b) { g[((a % 8) + 8) % 8] = s; return g[0]; }")
+	f.Add("int main(int a, int b) { float x = 1.5; float y = x * 2.25; if (y > a) { return 1; } return 0; }")
+	f.Add("int helper(int x, int y) { return x * y; }\nint main(int a, int b) { int v = 0; for (int i = 0; i < 5; i++) { v += helper(i, a); } return v; }")
+	f.Add("int main(int a, int b) { int w = 0; int acc = 0; while (w < 4) { acc += w; w = w + 1; } do { acc--; } while (acc > 10); return acc; }")
+	f.Add("void side(int x) { print(x); }\nint main(int a, int b) { if (a > 0 && b != 3 || !a) { side(a); } return a | b; }")
+	f.Add("int main(") // parse error
+	f.Add("float bad = 1.0;")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := minic.Compile(src)
+		if err != nil {
+			return // rejecting the input is fine; panicking is not
+		}
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("compiled program fails validation: %v\nsource:\n%s", err, src)
+		}
+	})
+}

@@ -3,7 +3,7 @@ package minic
 import "strconv"
 
 var keywords = map[string]Kind{
-	"int": KwInt, "void": KwVoid, "if": KwIf, "else": KwElse,
+	"int": KwInt, "float": KwFloat, "void": KwVoid, "if": KwIf, "else": KwElse,
 	"while": KwWhile, "for": KwFor, "do": KwDo, "return": KwReturn,
 	"break": KwBreak, "continue": KwContinue,
 }
@@ -69,6 +69,21 @@ func Lex(src string) ([]Token, error) {
 			for i < len(src) && isDigit(src[i]) {
 				i++
 				col++
+			}
+			// A dot followed by a digit continues into a float literal.
+			if i+1 < len(src) && src[i] == '.' && isDigit(src[i+1]) {
+				i++
+				col++
+				for i < len(src) && isDigit(src[i]) {
+					i++
+					col++
+				}
+				v, err := strconv.ParseFloat(src[start:i], 64)
+				if err != nil {
+					return nil, errAt(line, startCol, "bad float %q", src[start:i])
+				}
+				toks = append(toks, Token{Kind: FNUMBER, Text: src[start:i], FNum: v, Line: line, Col: startCol})
+				continue
 			}
 			n, err := strconv.ParseInt(src[start:i], 10, 64)
 			if err != nil {

@@ -47,6 +47,9 @@ func (p *parserState) expect(k Kind) (Token, error) {
 func (p *parserState) parseTopLevel(prog *Program) error {
 	t := p.cur()
 	isVoid := t.Kind == KwVoid
+	if t.Kind == KwFloat {
+		return errAt(t.Line, t.Col, "float is only allowed for locals")
+	}
 	if t.Kind != KwInt && t.Kind != KwVoid {
 		return errAt(t.Line, t.Col, "expected 'int' or 'void' declaration, found %s", t)
 	}
@@ -203,13 +206,13 @@ func (p *parserState) parseStmt() (Stmt, error) {
 	switch t.Kind {
 	case LBrace:
 		return p.parseBlock()
-	case KwInt:
+	case KwInt, KwFloat:
 		p.next()
 		id, err := p.expect(IDENT)
 		if err != nil {
 			return nil, err
 		}
-		d := &DeclStmt{Name: id.Text, Line: id.Line}
+		d := &DeclStmt{Name: id.Text, Float: t.Kind == KwFloat, Line: id.Line}
 		if p.at(Assign) {
 			p.next()
 			e, err := p.parseExpr()
@@ -368,13 +371,14 @@ func (p *parserState) parseFor() (Stmt, error) {
 	}
 	s := &ForStmt{}
 	if !p.at(Semi) {
-		if p.at(KwInt) {
+		if p.at(KwInt) || p.at(KwFloat) {
+			isFloat := p.at(KwFloat)
 			p.next()
 			id, err := p.expect(IDENT)
 			if err != nil {
 				return nil, err
 			}
-			d := &DeclStmt{Name: id.Text, Line: id.Line}
+			d := &DeclStmt{Name: id.Text, Float: isFloat, Line: id.Line}
 			if p.at(Assign) {
 				p.next()
 				e, err := p.parseExpr()
@@ -488,6 +492,9 @@ func (p *parserState) parsePrimary() (Expr, error) {
 	case NUMBER:
 		p.next()
 		return &NumExpr{Value: t.Num, Line: t.Line}, nil
+	case FNUMBER:
+		p.next()
+		return &FNumExpr{Value: t.FNum, Line: t.Line}, nil
 	case LParen:
 		p.next()
 		e, err := p.parseExpr()

@@ -20,9 +20,11 @@ const (
 	EOF Kind = iota
 	IDENT
 	NUMBER
+	FNUMBER
 
 	// Keywords.
 	KwInt
+	KwFloat
 	KwVoid
 	KwIf
 	KwElse
@@ -71,7 +73,8 @@ const (
 
 var kindNames = map[Kind]string{
 	EOF: "end of file", IDENT: "identifier", NUMBER: "number",
-	KwInt: "'int'", KwVoid: "'void'", KwIf: "'if'", KwElse: "'else'",
+	FNUMBER: "float number",
+	KwInt:   "'int'", KwFloat: "'float'", KwVoid: "'void'", KwIf: "'if'", KwElse: "'else'",
 	KwWhile: "'while'", KwFor: "'for'", KwDo: "'do'", KwReturn: "'return'",
 	KwBreak: "'break'", KwContinue: "'continue'",
 	LParen: "'('", RParen: "')'", LBrace: "'{'", RBrace: "'}'",
@@ -95,7 +98,8 @@ func (k Kind) String() string {
 type Token struct {
 	Kind Kind
 	Text string
-	Num  int64 // value of NUMBER tokens
+	Num  int64   // value of NUMBER tokens
+	FNum float64 // value of FNUMBER tokens
 	Line int
 	Col  int
 }
@@ -106,6 +110,8 @@ func (t Token) String() string {
 		return fmt.Sprintf("identifier %q", t.Text)
 	case NUMBER:
 		return fmt.Sprintf("number %d", t.Num)
+	case FNUMBER:
+		return fmt.Sprintf("number %g", t.FNum)
 	}
 	return t.Kind.String()
 }

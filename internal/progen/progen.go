@@ -7,9 +7,13 @@
 //
 // Safety by construction:
 //   - loops are counted for-loops with constant bounds whose induction
-//     variable is never assigned in the body,
+//     variable is never assigned in the body, or counted while-loops
+//     whose induction variable is incremented as the last statement of
+//     the body and never otherwise assigned (while bodies never emit a
+//     while-level continue, which would skip the increment),
 //   - array indices are wrapped into range with ((e % size) + size) % size,
-//   - division and remainder happen only by positive constants,
+//   - division and remainder happen only by positive constants (float
+//     division only by constants bounded away from zero),
 //   - recursion is not generated.
 package progen
 
@@ -21,10 +25,25 @@ import (
 
 // Program is a generated test program.
 type Program struct {
-	Source string
-	Entry  string
-	Args   []int64
-	Seed   int64
+	Source   string
+	Entry    string
+	Args     []int64
+	Seed     int64
+	Features Features
+}
+
+// Features records which optional constructs the generator emitted, so
+// corpus tests can assert the constructs actually appear.
+type Features struct {
+	// Floats is set when float locals, arithmetic, or compares were
+	// emitted (exercising the FPR register class and the float-compare
+	// branch delay).
+	Floats bool
+	// While is set when a counted while-loop was emitted.
+	While bool
+	// NestedWhile is set when a while-loop was emitted lexically inside
+	// another while-loop.
+	NestedWhile bool
 }
 
 type genState struct {
@@ -33,10 +52,14 @@ type genState struct {
 	arrays map[string]int // name -> size
 	depth  int
 
-	vars     []string // assignable scalars in scope
+	vars     []string // assignable int scalars in scope
+	fvars    []string // assignable float scalars in scope
 	loopVars []string // readable but not assignable
 	indent   int
 	inHelper bool // no helper calls inside helper (no recursion)
+	inWhile  int  // while-loop nesting depth
+	nwhile   int  // counter for unique while induction variables
+	features Features
 }
 
 // New generates a program from the seed.
@@ -89,6 +112,15 @@ func New(seed int64) *Program {
 		g.line(fmt.Sprintf("int %s = %s;", name, g.expr(1)))
 		g.vars = append(g.vars, name)
 	}
+	// Float locals (declared up front: minic scopes declarations to the
+	// enclosing block, so later statements can always reach them).
+	nf := g.r.Intn(3)
+	for i := 0; i < nf; i++ {
+		name := fmt.Sprintf("f%d", i)
+		g.line(fmt.Sprintf("float %s = %s;", name, g.flit()))
+		g.fvars = append(g.fvars, name)
+		g.features.Floats = true
+	}
 	g.block(4)
 	// Return a digest of state.
 	ret := g.expr(2)
@@ -96,14 +128,18 @@ func New(seed int64) *Program {
 		name := fmt.Sprintf("g%d", i)
 		ret += fmt.Sprintf(" + %s[%d]", name, g.r.Intn(g.arrays[name]))
 	}
+	for _, f := range g.fvars {
+		ret += " + " + f // truncated into the int digest
+	}
 	g.line("return " + ret + ";")
 	g.sb.WriteString("}\n")
 
 	return &Program{
-		Source: g.sb.String(),
-		Entry:  "main",
-		Args:   []int64{int64(g.r.Intn(100) - 50), int64(g.r.Intn(100) - 50)},
-		Seed:   seed,
+		Source:   g.sb.String(),
+		Entry:    "main",
+		Args:     []int64{int64(g.r.Intn(100) - 50), int64(g.r.Intn(100) - 50)},
+		Seed:     seed,
+		Features: g.features,
 	}
 }
 
@@ -124,7 +160,7 @@ func (g *genState) block(n int) {
 func (g *genState) stmt() {
 	g.depth++
 	defer func() { g.depth-- }()
-	choice := g.r.Intn(10)
+	choice := g.r.Intn(13)
 	if g.depth > 4 && choice >= 4 {
 		choice = g.r.Intn(4) // deep nests only emit simple statements
 	}
@@ -136,7 +172,12 @@ func (g *genState) stmt() {
 		}
 		v := g.vars[g.r.Intn(len(g.vars))]
 		op := []string{"=", "+=", "-="}[g.r.Intn(3)]
-		g.line(fmt.Sprintf("%s %s %s;", v, op, g.expr(2)))
+		rhs := g.expr(2)
+		if len(g.fvars) > 0 && g.r.Intn(4) == 0 {
+			rhs = g.fexpr(2) // truncated on assignment to an int
+			g.features.Floats = true
+		}
+		g.line(fmt.Sprintf("%s %s %s;", v, op, rhs))
 	case 3: // array store
 		name, size := g.pickArray()
 		g.line(fmt.Sprintf("%s[%s] = %s;", name, g.index(size), g.expr(2)))
@@ -171,14 +212,59 @@ func (g *genState) stmt() {
 		g.line("}")
 	case 8: // print
 		g.line(fmt.Sprintf("print(%s);", g.expr(2)))
-	default: // helper call into a scalar
+	case 9: // helper call into a scalar
 		if len(g.vars) == 0 || g.inHelper {
 			g.line("print(1);")
 			return
 		}
 		v := g.vars[g.r.Intn(len(g.vars))]
 		g.line(fmt.Sprintf("%s = helper(%s, %s);", v, g.expr(1), g.expr(1)))
+	case 10: // float assignment
+		if len(g.fvars) == 0 {
+			g.line(fmt.Sprintf("print(%s);", g.expr(1)))
+			return
+		}
+		g.features.Floats = true
+		v := g.fvars[g.r.Intn(len(g.fvars))]
+		op := []string{"=", "+=", "-="}[g.r.Intn(3)]
+		g.line(fmt.Sprintf("%s %s %s;", v, op, g.fexpr(2)))
+	default: // counted while loop
+		g.whileLoop()
 	}
+}
+
+// whileLoop emits a counted while-loop: the induction variable is
+// declared immediately above the loop, incremented as the last
+// statement of the body, and never otherwise assigned. Bodies never
+// emit a while-level continue (it would skip the increment and spin
+// forever); the conditional continue/break that stmt generates is
+// always at for-loop level, so nested for-loops remain safe.
+func (g *genState) whileLoop() {
+	g.features.While = true
+	if g.inWhile > 0 {
+		g.features.NestedWhile = true
+	}
+	g.nwhile++
+	wv := fmt.Sprintf("w%d", g.nwhile)
+	bound := 2 + g.r.Intn(6)
+	g.line(fmt.Sprintf("int %s = 0;", wv))
+	g.line(fmt.Sprintf("while (%s < %d) {", wv, bound))
+	g.indent++
+	g.inWhile++
+	g.loopVars = append(g.loopVars, wv)
+	g.block(2)
+	if g.depth < 4 && g.r.Intn(2) == 0 {
+		// Directly nest another while so multi-level loop nests show
+		// up often, not just by chance through stmt recursion.
+		g.depth++
+		g.whileLoop()
+		g.depth--
+	}
+	g.loopVars = g.loopVars[:len(g.loopVars)-1]
+	g.inWhile--
+	g.line(fmt.Sprintf("%s = %s + 1;", wv, wv))
+	g.indent--
+	g.line("}")
 }
 
 func (g *genState) pickArray() (string, int) {
@@ -235,8 +321,53 @@ func (g *genState) expr(depth int) string {
 	}
 }
 
+// fatom is a leaf of a float expression: a float local, a float
+// literal, or an int atom (coerced to float by context).
+func (g *genState) fatom() string {
+	if len(g.fvars) > 0 && g.r.Intn(3) != 0 {
+		return g.fvars[g.r.Intn(len(g.fvars))]
+	}
+	if g.r.Intn(2) == 0 {
+		return g.flit()
+	}
+	return g.atom()
+}
+
+// fexpr generates a float-valued expression of bounded depth. Division
+// is only by constants >= 1, so a zero divisor (and the Inf/NaN it
+// would breed) never arises.
+func (g *genState) fexpr(depth int) string {
+	if depth <= 0 {
+		return g.fatom()
+	}
+	switch g.r.Intn(6) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", g.fexpr(depth-1), g.fatom())
+	case 1:
+		return fmt.Sprintf("(%s - %s)", g.fexpr(depth-1), g.fatom())
+	case 2:
+		return fmt.Sprintf("(%s * %s)", g.fexpr(depth-1), g.flit())
+	case 3:
+		return fmt.Sprintf("(%s / %d.%02d)", g.fexpr(depth-1), 1+g.r.Intn(7), g.r.Intn(100))
+	default:
+		return g.fatom()
+	}
+}
+
+// flit is a small non-negative float literal.
+func (g *genState) flit() string {
+	return fmt.Sprintf("%d.%02d", g.r.Intn(8), g.r.Intn(100))
+}
+
 // cond generates a boolean expression.
 func (g *genState) cond() string {
+	if len(g.fvars) > 0 && g.r.Intn(4) == 0 {
+		// Float compare: exercises FCmp feeding a conditional branch,
+		// the machine's longest delay (5 cycles on the RS/6K model).
+		g.features.Floats = true
+		fop := []string{"<", "<=", ">", ">=", "=="}[g.r.Intn(5)]
+		return fmt.Sprintf("%s %s %s", g.fvars[g.r.Intn(len(g.fvars))], fop, g.fexpr(1))
+	}
 	op := []string{"<", "<=", ">", ">=", "==", "!="}[g.r.Intn(6)]
 	c := fmt.Sprintf("%s %s %s", g.expr(1), op, g.atom())
 	switch g.r.Intn(4) {

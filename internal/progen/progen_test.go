@@ -1,6 +1,7 @@
 package progen
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -156,6 +157,46 @@ func TestDuplicationInvariance(t *testing.T) {
 	}
 	if err := quick.Check(property, cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCorpusCoverage: the optional constructs — float arithmetic and
+// compares, while-loops, and nested while-loops — must actually appear
+// across a corpus of generated programs, and the Features record must
+// match the emitted source.
+func TestCorpusCoverage(t *testing.T) {
+	const n = 200
+	var floats, whiles, nested int
+	for seed := int64(0); seed < n; seed++ {
+		p := New(seed)
+		if p.Features.Floats {
+			floats++
+			if !strings.Contains(p.Source, "float ") {
+				t.Errorf("seed %d: Features.Floats set but no float in source", seed)
+			}
+		}
+		if p.Features.While {
+			whiles++
+			if !strings.Contains(p.Source, "while (") {
+				t.Errorf("seed %d: Features.While set but no while in source", seed)
+			}
+		}
+		if p.Features.NestedWhile {
+			nested++
+		}
+		if p.Features.NestedWhile && !p.Features.While {
+			t.Errorf("seed %d: NestedWhile without While", seed)
+		}
+	}
+	t.Logf("corpus of %d: floats=%d while=%d nested-while=%d", n, floats, whiles, nested)
+	if floats < n/4 {
+		t.Errorf("float constructs appear in only %d/%d programs", floats, n)
+	}
+	if whiles < n/4 {
+		t.Errorf("while loops appear in only %d/%d programs", whiles, n)
+	}
+	if nested < n/20 {
+		t.Errorf("nested while loops appear in only %d/%d programs", nested, n)
 	}
 }
 

@@ -1,0 +1,544 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gsched/internal/ir"
+)
+
+// The verifier re-derives every control-flow fact it needs from the ir
+// alone, deliberately sharing no analysis code with internal/cfg or
+// internal/pdg: dominators and postdominators are computed as explicit
+// dominance *sets* by iterative dataflow (not the CHK tree algorithm the
+// scheduler uses), control dependences are walked off the postdominance
+// sets, and loop membership comes from natural-loop construction. A bug
+// in the scheduler's analyses therefore cannot hide the same bug here.
+
+// bitset is a dense set of block numbers.
+type bitset []uint64
+
+func newBitset(n int) bitset        { return make(bitset, (n+63)/64) }
+func (b bitset) has(i int) bool     { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+func (b bitset) set(i int)          { b[i/64] |= 1 << (uint(i) % 64) }
+func (b bitset) clone() bitset      { return append(bitset(nil), b...) }
+func (b bitset) setAll(n int) {
+	for i := 0; i < n; i++ {
+		b.set(i)
+	}
+}
+
+// intersect replaces b with b ∩ o and reports whether b changed.
+func (b bitset) intersect(o bitset) bool {
+	changed := false
+	for w := range b {
+		nv := b[w] & o[w]
+		if nv != b[w] {
+			b[w] = nv
+			changed = true
+		}
+	}
+	return changed
+}
+
+// union replaces b with b ∪ o and reports whether b changed.
+func (b bitset) union(o bitset) bool {
+	changed := false
+	for w := range b {
+		nv := b[w] | o[w]
+		if nv != b[w] {
+			b[w] = nv
+			changed = true
+		}
+	}
+	return changed
+}
+
+// ctrlEdge identifies a controlling branch edge: control leaves block
+// From through the edge whose head is block To.
+type ctrlEdge struct{ From, To int }
+
+// analysis bundles the verifier's independently derived control-flow
+// facts about one function.
+type analysis struct {
+	n      int
+	succs  [][]int // full control flow graph
+	preds  [][]int
+	reach  bitset // blocks reachable from entry
+
+	fsuccs [][]int // forward graph: back edges removed
+	fpreds [][]int
+	cyclic bool // forward graph still cyclic (irreducible flow graph)
+
+	dom  []bitset // dom[b]: blocks dominating b (reflexive); nil rows for unreachable b
+	pdom []bitset // pdom[b]: blocks postdominating b on the forward graph (reflexive)
+	ipdom []int   // immediate postdominator, vexit for exit blocks, -1 when unknown
+	vexit int     // virtual exit node number (== n)
+
+	freach []bitset // freach[u]: blocks reachable from u in the forward graph (reflexive)
+
+	cdep   [][]ctrlEdge // forward control dependences of each block, sorted
+	cdKey  []string     // canonical rendering of cdep, for equivalence
+	cdSucc [][]int      // blocks directly control dependent on a block
+
+	loopKey []string // canonical set of natural-loop headers containing each block
+}
+
+// analyze computes every fact from the current shape of f. Scheduling
+// moves instructions but never blocks or terminators, so the result is
+// valid for both the pre- and post-schedule program.
+func analyze(f *ir.Func) *analysis {
+	n := len(f.Blocks)
+	an := &analysis{n: n, vexit: n}
+	an.succs = make([][]int, n)
+	an.preds = make([][]int, n)
+	for i, b := range f.Blocks {
+		for _, s := range ir.Succs(f, b) {
+			an.succs[i] = append(an.succs[i], s.Index)
+			an.preds[s.Index] = append(an.preds[s.Index], i)
+		}
+	}
+
+	// Reachability from the entry block.
+	an.reach = newBitset(n)
+	stack := []int{0}
+	an.reach.set(0)
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range an.succs[u] {
+			if !an.reach.has(v) {
+				an.reach.set(v)
+				stack = append(stack, v)
+			}
+		}
+	}
+
+	an.computeDominators()
+	an.cutBackEdges()
+	an.computeForwardReach()
+	if !an.cyclic {
+		an.computePostDominators()
+		an.computeControlDeps()
+	}
+	an.computeLoops()
+	return an
+}
+
+// computeDominators solves dom[b] = {b} ∪ ∩ dom[preds] by iteration over
+// the full flow graph.
+func (an *analysis) computeDominators() {
+	an.dom = make([]bitset, an.n)
+	full := newBitset(an.n)
+	full.setAll(an.n)
+	for b := 0; b < an.n; b++ {
+		if !an.reach.has(b) {
+			continue
+		}
+		if b == 0 {
+			an.dom[b] = newBitset(an.n)
+			an.dom[b].set(0)
+		} else {
+			an.dom[b] = full.clone()
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for b := 1; b < an.n; b++ {
+			if an.dom[b] == nil {
+				continue
+			}
+			nv := full.clone()
+			any := false
+			for _, p := range an.preds[b] {
+				if an.dom[p] == nil {
+					continue
+				}
+				nv.intersect(an.dom[p])
+				any = true
+			}
+			if !any {
+				continue
+			}
+			nv.set(b)
+			if an.dom[b].intersect(nv) {
+				changed = true
+			}
+		}
+	}
+}
+
+// dominates reports whether a dominates b (reflexively). Unreachable
+// blocks dominate and are dominated by nothing.
+func (an *analysis) dominates(a, b int) bool {
+	return an.dom[b] != nil && an.dom[a] != nil && an.dom[b].has(a)
+}
+
+// cutBackEdges removes every edge u→v with v dominating u, producing the
+// forward graph, and records whether a cycle survives (irreducible flow).
+func (an *analysis) cutBackEdges() {
+	an.fsuccs = make([][]int, an.n)
+	an.fpreds = make([][]int, an.n)
+	for u := 0; u < an.n; u++ {
+		if !an.reach.has(u) {
+			continue
+		}
+		for _, v := range an.succs[u] {
+			if an.dominates(v, u) {
+				continue // back edge
+			}
+			an.fsuccs[u] = append(an.fsuccs[u], v)
+			an.fpreds[v] = append(an.fpreds[v], u)
+		}
+	}
+	// Kahn's algorithm detects leftover cycles.
+	indeg := make([]int, an.n)
+	members := 0
+	for u := 0; u < an.n; u++ {
+		if !an.reach.has(u) {
+			continue
+		}
+		members++
+		for _, v := range an.fsuccs[u] {
+			indeg[v]++
+		}
+	}
+	var q []int
+	for u := 0; u < an.n; u++ {
+		if an.reach.has(u) && indeg[u] == 0 {
+			q = append(q, u)
+		}
+	}
+	seen := 0
+	for len(q) > 0 {
+		u := q[0]
+		q = q[1:]
+		seen++
+		for _, v := range an.fsuccs[u] {
+			if indeg[v]--; indeg[v] == 0 {
+				q = append(q, v)
+			}
+		}
+	}
+	an.cyclic = seen != members
+}
+
+// computeForwardReach fills freach by reverse-topological accumulation
+// (or per-node DFS if the forward graph is cyclic).
+func (an *analysis) computeForwardReach() {
+	an.freach = make([]bitset, an.n)
+	var dfs func(u int) bitset
+	memoing := make([]bool, an.n)
+	dfs = func(u int) bitset {
+		if an.freach[u] != nil {
+			return an.freach[u]
+		}
+		if memoing[u] { // cycle: fall back to iterative closure below
+			return nil
+		}
+		memoing[u] = true
+		r := newBitset(an.n)
+		r.set(u)
+		for _, v := range an.fsuccs[u] {
+			if rv := dfs(v); rv != nil {
+				r.union(rv)
+			} else {
+				r.set(v)
+			}
+		}
+		an.freach[u] = r
+		return r
+	}
+	for u := 0; u < an.n; u++ {
+		if an.reach.has(u) {
+			dfs(u)
+		}
+	}
+	if an.cyclic {
+		// Close transitively until stable (irreducible graphs only).
+		for changed := true; changed; {
+			changed = false
+			for u := 0; u < an.n; u++ {
+				if an.freach[u] == nil {
+					continue
+				}
+				for _, v := range an.fsuccs[u] {
+					if an.freach[v] != nil && an.freach[u].union(an.freach[v]) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// forwardReach reports whether v is reachable from u (reflexively) in
+// the forward graph.
+func (an *analysis) forwardReach(u, v int) bool {
+	return an.freach[u] != nil && an.freach[u].has(v)
+}
+
+// computePostDominators runs the same set-iteration backwards over the
+// forward graph, against a virtual exit that every forward-successor-less
+// block flows into.
+func (an *analysis) computePostDominators() {
+	nv := an.n + 1
+	an.pdom = make([]bitset, nv)
+	full := newBitset(nv)
+	full.setAll(nv)
+	exitEdge := make([]bool, an.n)
+	for b := 0; b < an.n; b++ {
+		if an.reach.has(b) && len(an.fsuccs[b]) == 0 {
+			exitEdge[b] = true
+		}
+	}
+	an.pdom[an.vexit] = newBitset(nv)
+	an.pdom[an.vexit].set(an.vexit)
+	for b := 0; b < an.n; b++ {
+		if an.reach.has(b) {
+			an.pdom[b] = full.clone()
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for b := an.n - 1; b >= 0; b-- {
+			if an.pdom[b] == nil {
+				continue
+			}
+			acc := full.clone()
+			any := false
+			for _, s := range an.fsuccs[b] {
+				if an.pdom[s] == nil {
+					continue
+				}
+				acc.intersect(an.pdom[s])
+				any = true
+			}
+			if exitEdge[b] {
+				acc.intersect(an.pdom[an.vexit])
+				any = true
+			}
+			if !any {
+				continue
+			}
+			acc.set(b)
+			if an.pdom[b].intersect(acc) {
+				changed = true
+			}
+		}
+	}
+	// Immediate postdominators via set sizes: ipdom(b) is the strict
+	// postdominator of b with the largest postdominance set.
+	count := func(s bitset) int {
+		c := 0
+		for _, w := range s {
+			for ; w != 0; w &= w - 1 {
+				c++
+			}
+		}
+		return c
+	}
+	an.ipdom = make([]int, an.n)
+	for b := 0; b < an.n; b++ {
+		an.ipdom[b] = -1
+		if an.pdom[b] == nil {
+			continue
+		}
+		best, bestCount := -1, -1
+		for c := 0; c <= an.n; c++ {
+			if c == b || !an.pdom[b].has(c) {
+				continue
+			}
+			var sz int
+			if c == an.vexit {
+				sz = 1
+			} else {
+				sz = count(an.pdom[c])
+			}
+			if sz > bestCount {
+				best, bestCount = c, sz
+			}
+		}
+		an.ipdom[b] = best
+	}
+}
+
+// postDominates reports whether a postdominates b (reflexively) on the
+// forward graph.
+func (an *analysis) postDominates(a, b int) bool {
+	return an.pdom != nil && an.pdom[b] != nil && an.pdom[b].has(a)
+}
+
+// computeControlDeps derives forward control dependences per
+// Ferrante/Ottenstein/Warren: for each forward edge u→v with v not
+// postdominating u, every block on the postdominator chain from v up to
+// (exclusive) ipdom(u) is control dependent on that edge.
+func (an *analysis) computeControlDeps() {
+	an.cdep = make([][]ctrlEdge, an.n)
+	for u := 0; u < an.n; u++ {
+		if !an.reach.has(u) {
+			continue
+		}
+		seenEdge := map[int]bool{}
+		for _, v := range an.fsuccs[u] {
+			if seenEdge[v] {
+				continue
+			}
+			seenEdge[v] = true
+			if an.postDominates(v, u) {
+				continue
+			}
+			stop := an.ipdom[u]
+			for x := v; x != stop && x != an.vexit && x >= 0; x = an.ipdom[x] {
+				an.cdep[x] = append(an.cdep[x], ctrlEdge{From: u, To: v})
+			}
+		}
+	}
+	an.cdKey = make([]string, an.n)
+	an.cdSucc = make([][]int, an.n)
+	for b := 0; b < an.n; b++ {
+		deps := an.cdep[b]
+		sort.Slice(deps, func(i, j int) bool {
+			if deps[i].From != deps[j].From {
+				return deps[i].From < deps[j].From
+			}
+			return deps[i].To < deps[j].To
+		})
+		var sb strings.Builder
+		for _, d := range deps {
+			fmt.Fprintf(&sb, "%d>%d;", d.From, d.To)
+		}
+		an.cdKey[b] = sb.String()
+		for _, d := range deps {
+			an.cdSucc[d.From] = append(an.cdSucc[d.From], b)
+		}
+	}
+	for u := 0; u < an.n; u++ {
+		s := an.cdSucc[u]
+		sort.Ints(s)
+		out := s[:0]
+		for i, v := range s {
+			if i == 0 || v != s[i-1] {
+				out = append(out, v)
+			}
+		}
+		an.cdSucc[u] = out
+	}
+}
+
+// computeLoops builds natural loops from the back edges and renders each
+// block's set of containing loop headers as a canonical key. Instructions
+// may never change their loop membership (region boundaries, §6).
+func (an *analysis) computeLoops() {
+	headers := make([]map[int]bool, an.n)
+	addLoop := func(u, v int) { // back edge u→v, header v
+		if headers[v] == nil {
+			headers[v] = map[int]bool{}
+		}
+		headers[v][v] = true
+		// Blocks reaching u without passing v belong to the loop.
+		stack := []int{u}
+		inLoop := map[int]bool{v: true, u: true}
+		if headers[u] == nil {
+			headers[u] = map[int]bool{}
+		}
+		headers[u][v] = true
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, p := range an.preds[x] {
+				if inLoop[p] || !an.reach.has(p) {
+					continue
+				}
+				inLoop[p] = true
+				if headers[p] == nil {
+					headers[p] = map[int]bool{}
+				}
+				headers[p][v] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	for u := 0; u < an.n; u++ {
+		if !an.reach.has(u) {
+			continue
+		}
+		for _, v := range an.succs[u] {
+			if an.dominates(v, u) {
+				addLoop(u, v)
+			}
+		}
+	}
+	an.loopKey = make([]string, an.n)
+	for b := 0; b < an.n; b++ {
+		if headers[b] == nil {
+			continue
+		}
+		var hs []int
+		for h := range headers[b] {
+			hs = append(hs, h)
+		}
+		sort.Ints(hs)
+		var sb strings.Builder
+		for _, h := range hs {
+			fmt.Fprintf(&sb, "%d;", h)
+		}
+		an.loopKey[b] = sb.String()
+	}
+}
+
+// equivalent implements Definition 3 (via identical control dependences,
+// confirmed on the dominance sets): a and b execute under exactly the
+// same conditions.
+func (an *analysis) equivalent(a, b int) bool {
+	if a == b {
+		return true
+	}
+	if an.cyclic || an.cdKey[a] != an.cdKey[b] {
+		return false
+	}
+	return (an.dominates(a, b) && an.postDominates(b, a)) ||
+		(an.dominates(b, a) && an.postDominates(a, b))
+}
+
+// specDepth returns the number of branches gambled on when an
+// instruction moves from block h into block b (Definition 7): the BFS
+// distance from b (or a block equivalent to and dominated by b) to h in
+// the forward control dependence graph, visiting only blocks dominated
+// by b. Returns 0 when the blocks are equivalent and -1 when h is not a
+// speculative candidate at any depth.
+func (an *analysis) specDepth(b, h int) int {
+	if an.cyclic {
+		return -1
+	}
+	if an.equivalent(b, h) && an.dominates(b, h) {
+		return 0
+	}
+	seen := map[int]bool{b: true}
+	var frontier []int
+	frontier = append(frontier, b)
+	for e := 0; e < an.n; e++ {
+		if e != b && an.cdKey[e] == an.cdKey[b] && an.dominates(b, e) && an.postDominates(e, b) {
+			seen[e] = true
+			frontier = append(frontier, e)
+		}
+	}
+	for depth := 1; len(frontier) > 0; depth++ {
+		var next []int
+		for _, u := range frontier {
+			for _, ch := range an.cdSucc[u] {
+				if seen[ch] || !an.dominates(b, ch) {
+					continue
+				}
+				seen[ch] = true
+				if ch == h {
+					return depth
+				}
+				next = append(next, ch)
+			}
+		}
+		frontier = next
+	}
+	return -1
+}

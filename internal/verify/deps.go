@@ -1,0 +1,119 @@
+package verify
+
+import (
+	"gsched/internal/ir"
+)
+
+// Dependence derivation, written from the paper's §3 definitions rather
+// than shared with internal/pdg. A dependence x → y means y must not
+// execute before x on any path where both execute.
+
+// depKind labels a dependence for diagnostics.
+type depKind uint8
+
+const (
+	depFlow depKind = iota
+	depAnti
+	depOutput
+	depMem
+)
+
+func (k depKind) String() string {
+	switch k {
+	case depFlow:
+		return "flow"
+	case depAnti:
+		return "anti"
+	case depOutput:
+		return "output"
+	case depMem:
+		return "memory"
+	}
+	return "dep"
+}
+
+// dep records that instruction From must stay ordered before To.
+type dep struct {
+	From, To int // instruction IDs
+	Kind     depKind
+	Reg      ir.Reg // register carrying the dependence (register kinds)
+}
+
+// memConflict conservatively decides whether two memory-touching
+// instructions may access the same location. The facts mirror §4.2 of
+// the paper: distinct named symbols are disjoint, stack frame slots are
+// disjoint from global memory and from differently-offset frame slots,
+// and a call may touch any global memory but never a private frame slot.
+func memConflict(a, b *ir.Instr) bool {
+	if a.Op == ir.OpCall || b.Op == ir.OpCall {
+		other := a
+		if a.Op == ir.OpCall {
+			other = b
+		}
+		if other.Op == ir.OpCall {
+			return true
+		}
+		// Calls cannot see the caller's frame slots.
+		return other.Mem == nil || !other.Mem.Frame
+	}
+	ma, mb := a.Mem, b.Mem
+	if ma == nil || mb == nil {
+		return false
+	}
+	if ma.Frame != mb.Frame {
+		return false
+	}
+	if ma.Frame {
+		return ma.Off == mb.Off
+	}
+	if ma.Sym != "" && mb.Sym != "" && ma.Sym != mb.Sym {
+		return false
+	}
+	if ma.Sym == mb.Sym && ma.Sym != "" && ma.Base == ir.NoReg && mb.Base == ir.NoReg {
+		// Direct accesses to the same symbol at constant offsets.
+		return ma.Off == mb.Off
+	}
+	return true
+}
+
+// pairDeps appends every dependence forcing a to stay before b (a is
+// textually earlier on some path).
+func pairDeps(a, b *ir.Instr, out []dep) []dep {
+	var adefs, auses, bdefs, buses [4]ir.Reg
+	ad := a.Defs(adefs[:0])
+	au := a.Uses(auses[:0])
+	bd := b.Defs(bdefs[:0])
+	bu := b.Uses(buses[:0])
+
+	has := func(set []ir.Reg, r ir.Reg) bool {
+		for _, x := range set {
+			if x == r {
+				return true
+			}
+		}
+		return false
+	}
+	for _, r := range ad {
+		if has(bu, r) {
+			out = append(out, dep{From: a.ID, To: b.ID, Kind: depFlow, Reg: r})
+		}
+		if has(bd, r) {
+			out = append(out, dep{From: a.ID, To: b.ID, Kind: depOutput, Reg: r})
+		}
+	}
+	for _, r := range au {
+		if has(bd, r) {
+			out = append(out, dep{From: a.ID, To: b.ID, Kind: depAnti, Reg: r})
+		}
+	}
+	if a.Op.TouchesMemory() && b.Op.TouchesMemory() {
+		if !(a.Op.IsLoad() && b.Op.IsLoad()) && memConflict(a, b) {
+			out = append(out, dep{From: a.ID, To: b.ID, Kind: depMem})
+		}
+	}
+	// Nothing may migrate across a terminator within its block; the
+	// terminator-stays-last structural check covers that instead of
+	// explicit control edges here.
+	return out
+}
+

@@ -1,0 +1,717 @@
+// Package verify is an independent static legality checker for global
+// instruction scheduling. It snapshots a function before scheduling and
+// afterwards re-derives, from the ir alone, everything needed to decide
+// whether the schedule is legal under the rules of §3 of the paper:
+//
+//   - every instruction is accounted for — none lost, none appearing
+//     twice, none altered, terminators still terminate their blocks;
+//   - every data dependence (flow/anti/output on registers, conservative
+//     memory disambiguation) still executes in order on every path;
+//   - every cross-block motion is classified and validated: useful
+//     motion only between equivalent blocks (Definitions 3–5),
+//     speculative motion within the configured branch depth and never an
+//     instruction that stores, calls or may fault (Definition 7), with
+//     the §5.3 rule that the moved definition must not clobber a
+//     register observed on off-paths; duplicated motion must cover every
+//     predecessor of the join exactly once (Definition 6);
+//   - no instruction changes its loop (region) membership.
+//
+// The verifier shares no analysis code with internal/pdg or internal/cfg:
+// dominators, postdominators, control dependences, natural loops and the
+// dependence relation are all derived here from first principles, so it
+// serves as a second, independent oracle next to differential simulation.
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gsched/internal/ir"
+)
+
+// Rules configures which motions the checked schedule was allowed to
+// perform; it mirrors the scheduling options the transformation ran
+// under.
+type Rules struct {
+	// CrossBlock permits cross-block motion at all (false for pure
+	// basic-block scheduling).
+	CrossBlock bool
+	// MaxSpecDepth is the maximum number of conditional branches a
+	// speculative motion may gamble on (0 disables speculation).
+	MaxSpecDepth int
+	// SpeculateLoads permits loads to move speculatively.
+	SpeculateLoads bool
+	// AllowDuplication permits motion with duplication into join
+	// predecessors.
+	AllowDuplication bool
+}
+
+// Violation describes one broken legality rule with enough context to
+// debug it: the rule, the instruction, and the blocks/edge involved.
+type Violation struct {
+	Func  string
+	Rule  string
+	ID    int    // instruction ID, -1 when not instruction-specific
+	Instr string // rendered instruction, "" when not instruction-specific
+	Msg   string
+}
+
+func (v Violation) String() string {
+	if v.ID >= 0 {
+		return fmt.Sprintf("%s: [%s] id %d %q: %s", v.Func, v.Rule, v.ID, v.Instr, v.Msg)
+	}
+	return fmt.Sprintf("%s: [%s] %s", v.Func, v.Rule, v.Msg)
+}
+
+// Error aggregates every violation found in one function.
+type Error struct {
+	Violations []Violation
+}
+
+func (e *Error) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "verify: %d violation(s)", len(e.Violations))
+	for i, v := range e.Violations {
+		if i == 12 {
+			fmt.Fprintf(&b, "\n  ... and %d more", len(e.Violations)-i)
+			break
+		}
+		b.WriteString("\n  ")
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
+
+// place locates an instruction: block index and position within it.
+type place struct{ block, pos int }
+
+// Snapshot is a deep copy of a function's instruction layout taken
+// before scheduling. Scheduling moves instructions but never blocks, so
+// the snapshot and the scheduled function share one flow graph.
+type Snapshot struct {
+	FuncName string
+	labels   []string
+	order    [][]int // instruction IDs per block, in pre-schedule order
+	instrs   map[int]*ir.Instr
+	home     map[int]place
+}
+
+// Capture records the current layout of f.
+func Capture(f *ir.Func) *Snapshot {
+	s := &Snapshot{
+		FuncName: f.Name,
+		labels:   make([]string, len(f.Blocks)),
+		order:    make([][]int, len(f.Blocks)),
+		instrs:   make(map[int]*ir.Instr),
+		home:     make(map[int]place),
+	}
+	for bi, b := range f.Blocks {
+		s.labels[bi] = b.Label
+		ids := make([]int, len(b.Instrs))
+		for pi, ins := range b.Instrs {
+			ids[pi] = ins.ID
+			s.instrs[ins.ID] = ins.Clone(ins.ID)
+			s.home[ins.ID] = place{bi, pi}
+		}
+		s.order[bi] = ids
+	}
+	return s
+}
+
+// Check validates the scheduled function f against its pre-schedule
+// snapshot under the given rules. It returns nil for a legal schedule
+// and an *Error listing every violation otherwise.
+func Check(snap *Snapshot, f *ir.Func, rules Rules) error {
+	c := &checker{
+		snap:       snap,
+		f:          f,
+		rules:      rules,
+		final:      make(map[int]place),
+		finalInstr: make(map[int]*ir.Instr),
+		origin:     make(map[int]int),
+		placements: make(map[int][]place),
+		dupGroup:   make(map[int]bool),
+	}
+	if !c.structure() {
+		return c.result()
+	}
+	c.an = analyze(f)
+	c.accounting()
+	c.motions()
+	c.depOrder()
+	return c.result()
+}
+
+type checker struct {
+	snap  *Snapshot
+	f     *ir.Func
+	rules Rules
+	an    *analysis
+
+	final      map[int]place     // instruction ID -> scheduled location
+	finalInstr map[int]*ir.Instr // instruction ID -> scheduled instruction
+	origin     map[int]int       // duplicate-copy ID -> snapshot ID it copies
+	placements map[int][]place   // snapshot ID -> original + copy locations
+	dupGroup   map[int]bool      // snapshot IDs verified as duplication groups
+
+	vs []Violation
+}
+
+func (c *checker) violate(rule string, ins *ir.Instr, format string, args ...interface{}) {
+	v := Violation{Func: c.snap.FuncName, Rule: rule, ID: -1, Msg: fmt.Sprintf(format, args...)}
+	if ins != nil {
+		v.ID = ins.ID
+		v.Instr = ins.String()
+	}
+	c.vs = append(c.vs, v)
+}
+
+func (c *checker) result() error {
+	if len(c.vs) == 0 {
+		return nil
+	}
+	return &Error{Violations: c.vs}
+}
+
+// structure checks that the block skeleton is untouched: scheduling may
+// only permute and move instructions, never blocks. Returns false when
+// the skeletons are incomparable and no further checking is possible.
+func (c *checker) structure() bool {
+	if c.f.Name != c.snap.FuncName {
+		c.violate("structure", nil, "function %q checked against snapshot of %q", c.f.Name, c.snap.FuncName)
+		return false
+	}
+	if len(c.f.Blocks) != len(c.snap.labels) {
+		c.violate("structure", nil, "block count changed: %d -> %d", len(c.snap.labels), len(c.f.Blocks))
+		return false
+	}
+	for bi, b := range c.f.Blocks {
+		if b.Label != c.snap.labels[bi] {
+			c.violate("structure", nil, "block %d label changed: %q -> %q", bi, c.snap.labels[bi], b.Label)
+			return false
+		}
+	}
+	return true
+}
+
+// accounting indexes the scheduled layout, pairs every surviving
+// instruction with its snapshot, matches extra instructions to the
+// originals they duplicate, and checks that terminators stayed put.
+func (c *checker) accounting() {
+	var extras []int
+	for bi, b := range c.f.Blocks {
+		for pi, ins := range b.Instrs {
+			if prev, dup := c.final[ins.ID]; dup {
+				c.violate("accounting", ins, "instruction ID appears twice (blocks %d and %d)", prev.block, bi)
+				continue
+			}
+			c.final[ins.ID] = place{bi, pi}
+			c.finalInstr[ins.ID] = ins
+		}
+	}
+	for _, id := range c.snapIDs() {
+		if _, ok := c.final[id]; !ok {
+			c.violate("accounting", c.snap.instrs[id], "instruction lost by scheduling")
+		}
+	}
+	bySig := make(map[string][]int)
+	for id, ins := range c.finalInstr {
+		if s, ok := c.snap.instrs[id]; ok {
+			if !sameInstr(s, ins) {
+				c.violate("accounting", s, "instruction altered by scheduling: now %q", ins.String())
+			}
+			c.placements[id] = append(c.placements[id], c.final[id])
+		} else {
+			extras = append(extras, id)
+		}
+	}
+	for _, id := range c.snapIDs() {
+		s := c.snap.instrs[id].String()
+		bySig[s] = append(bySig[s], id) // sorted-id order: deterministic
+	}
+	sort.Ints(extras)
+	for _, e := range extras {
+		ins := c.finalInstr[e]
+		// Several snapshot instructions can share a printed form (loop
+		// unrolling clones whole bodies), so score each candidate by how
+		// well it fits the duplication shape instead of taking the first
+		// textual match: only an original whose home is a join can have
+		// copies at all, and a true copy sits in a predecessor of that
+		// join (or strictly upstream, when a later session hoisted it).
+		best, bestScore := -1, 0
+		for _, cand := range bySig[ins.String()] {
+			if _, present := c.final[cand]; !present {
+				continue // the original itself was lost; do not pair
+			}
+			if s := c.matchScore(e, cand); s > bestScore {
+				best, bestScore = cand, s
+			}
+		}
+		if best < 0 {
+			c.violate("accounting", ins, "unknown instruction introduced by scheduling")
+			continue
+		}
+		c.origin[e] = best
+		c.placements[best] = append(c.placements[best], c.final[e])
+	}
+	// Terminators stay the last instruction of their block.
+	for bi, b := range c.f.Blocks {
+		snapTerm, finalTerm := -1, -1
+		if ids := c.snap.order[bi]; len(ids) > 0 {
+			if last := c.snap.instrs[ids[len(ids)-1]]; last.Op.IsTerminator() {
+				snapTerm = last.ID
+			}
+		}
+		if t := b.Terminator(); t != nil {
+			finalTerm = t.ID
+		}
+		if snapTerm != finalTerm {
+			c.violate("terminator", nil, "block %d (%s) terminator changed: id %d -> id %d",
+				bi, b.Label, snapTerm, finalTerm)
+		}
+	}
+}
+
+// matchScore ranks snapshot instruction cand as the original of extra
+// copy e: 3 when e sits in a predecessor of cand's home join, 2 when it
+// sits strictly upstream of that join, 1 as a last resort, ties broken
+// by the caller's ascending candidate order.
+func (c *checker) matchScore(e, cand int) int {
+	home, ok := c.snap.home[cand]
+	if !ok {
+		return 1
+	}
+	J := home.block
+	fb := c.final[e].block
+	if len(c.an.preds[J]) >= 2 {
+		for _, p := range c.an.preds[J] {
+			if p == fb {
+				return 3
+			}
+		}
+		if fb != J && c.an.forwardReach(fb, J) {
+			return 2
+		}
+	}
+	return 1
+}
+
+func (c *checker) snapIDs() []int {
+	ids := make([]int, 0, len(c.snap.instrs))
+	for id := range c.snap.instrs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// motions classifies and validates every cross-block motion.
+func (c *checker) motions() {
+	for _, id := range c.snapIDs() {
+		fin, ok := c.final[id]
+		if !ok {
+			continue // already reported as lost
+		}
+		home := c.snap.home[id]
+		if len(c.placements[id]) > 1 {
+			c.checkDuplication(id)
+			continue
+		}
+		if fin.block != home.block {
+			c.classifyMotion(id, home, fin)
+		}
+	}
+}
+
+// classifyMotion validates a single-copy motion from home to fin as
+// either useful (equivalent blocks) or speculative (§3's n-branch
+// motion).
+func (c *checker) classifyMotion(id int, home, fin place) {
+	ins := c.snap.instrs[id]
+	H, B := home.block, fin.block
+	if ins.Op.NeverMoves() {
+		c.violate("pinned", ins, "instruction of this opcode may never move (block %d -> %d)", H, B)
+		return
+	}
+	if !c.rules.CrossBlock {
+		c.violate("cross-block", ins, "cross-block motion is disabled at this level (block %d -> %d)", H, B)
+		return
+	}
+	if !c.an.reach.has(H) || !c.an.reach.has(B) {
+		c.violate("cross-block", ins, "motion involving unreachable block (block %d -> %d)", H, B)
+		return
+	}
+	if c.an.cyclic {
+		c.violate("cross-block", ins, "cross-block motion in an irreducible flow graph (block %d -> %d)", H, B)
+		return
+	}
+	if c.an.loopKey[H] != c.an.loopKey[B] {
+		c.violate("region", ins, "motion changes loop membership (block %d -> %d)", H, B)
+		return
+	}
+	if c.an.equivalent(B, H) && c.an.dominates(B, H) {
+		return // useful motion between equivalent blocks
+	}
+	if !c.an.dominates(B, H) {
+		c.violate("useful", ins,
+			"destination block %d neither dominates nor is equivalent to home block %d", B, H)
+		return
+	}
+	// Speculative motion: B dominates H but H does not postdominate B.
+	if c.rules.MaxSpecDepth < 1 {
+		c.violate("speculative", ins, "speculative motion is disabled (block %d -> %d)", H, B)
+		return
+	}
+	if ins.Op.NeverSpeculates() {
+		c.violate("speculative", ins,
+			"instruction may not execute speculatively (stores/calls/faulting ops; block %d -> %d)", H, B)
+		return
+	}
+	if ins.Op.IsLoad() && !c.rules.SpeculateLoads {
+		c.violate("speculative", ins, "speculative loads are disabled (block %d -> %d)", H, B)
+		return
+	}
+	d := c.an.specDepth(B, H)
+	if d < 1 {
+		c.violate("speculative", ins,
+			"home block %d is not a speculative candidate of block %d", H, B)
+		return
+	}
+	if d > c.rules.MaxSpecDepth {
+		c.violate("speculative", ins,
+			"motion gambles on %d branches, limit is %d (block %d -> %d)", d, c.rules.MaxSpecDepth, H, B)
+		return
+	}
+	c.checkOffPath(id, fin, H, "speculative")
+}
+
+// checkDuplication validates a duplication group (Definition 6): the
+// original plus its copies must cover every predecessor of the home join
+// exactly once, and each copy's definitions must be unobservable on
+// paths that bypass the join.
+func (c *checker) checkDuplication(id int) {
+	ins := c.snap.instrs[id]
+	home := c.snap.home[id]
+	J := home.block
+	if !c.rules.CrossBlock || !c.rules.AllowDuplication {
+		c.violate("duplication", ins, "duplication is disabled (join block %d)", J)
+		return
+	}
+	if ins.Op.NeverMoves() || ins.Op.NeverSpeculates() {
+		c.violate("duplication", ins, "instruction of this opcode may not be duplicated (join block %d)", J)
+		return
+	}
+	if ins.Op.IsLoad() && !c.rules.SpeculateLoads {
+		c.violate("duplication", ins, "speculative loads are disabled; copies run speculatively (join block %d)", J)
+		return
+	}
+	if c.an.cyclic {
+		c.violate("duplication", ins, "duplication in an irreducible flow graph (join block %d)", J)
+		return
+	}
+	predSet := make(map[int]bool)
+	for _, p := range c.an.preds[J] {
+		predSet[p] = true
+	}
+	if len(predSet) < 2 {
+		c.violate("duplication", ins, "home block %d is not a join (%d predecessors)", J, len(predSet))
+		return
+	}
+	cover := make(map[int]bool)
+	for _, pl := range c.placements[id] {
+		cover[pl.block] = true
+	}
+	// Copies may sit upstream of their predecessor: the session's own
+	// instance lands in the session block, later sessions may hoist a
+	// predecessor's copy further, and a copy sitting at a join of its own
+	// may be re-duplicated into that join's predecessors. What must hold
+	// is path coverage: every path entering J executes some copy on the
+	// way, and the last copy executed is always correctly placed (earlier
+	// ones are shadowed; join-bypassing executions are §5.3-checked
+	// below). done[b] computes "every forward path reaching the end of b
+	// has executed a copy" by structural induction over the forward graph.
+	for b := range cover {
+		if !predSet[b] && !(b != J && c.an.forwardReach(b, J)) {
+			c.violate("duplication", ins, "copy placed in block %d, not upstream of join %d", b, J)
+			return
+		}
+		if c.an.loopKey[b] != c.an.loopKey[J] {
+			c.violate("region", ins, "duplication crosses a loop boundary (block %d vs join %d)", b, J)
+			return
+		}
+	}
+	done := make([]bool, len(c.f.Blocks))
+	for changed := true; changed; {
+		changed = false
+		for b := range done {
+			if done[b] {
+				continue
+			}
+			ok := cover[b]
+			if !ok && len(c.an.fpreds[b]) > 0 {
+				ok = true
+				for _, p := range c.an.fpreds[b] {
+					if !done[p] {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				done[b] = true
+				changed = true
+			}
+		}
+	}
+	for p := range predSet {
+		if !done[p] {
+			c.violate("duplication", ins, "predecessor block %d of join %d has no covering copy", p, J)
+			return
+		}
+	}
+	c.dupGroup[id] = true
+	for _, pl := range c.placements[id] {
+		c.checkOffPath(id, pl, J, "duplication")
+	}
+}
+
+// checkOffPath enforces §5.3: a definition executed speculatively at pl
+// (home block H) must not clobber a value some use the original program
+// did not feed from this instruction still observes. Liveness is taken
+// from the snapshot with the live-in of H masked — in the snapshot every
+// legitimate consumer sat at or beyond the instruction's original slot
+// in H, so liveness that reaches the new position flowed around H and
+// has an off-path observer. A snapshot use only counts as an observer if
+// its own final placement is still strictly downstream of the moved
+// definition: consumers that were hoisted above it (the scheduler
+// re-checks liveness dynamically after every motion, §5.3) no longer
+// read the clobbered register.
+func (c *checker) checkOffPath(id int, pl place, H int, rule string) {
+	ins := c.snap.instrs[id]
+	var defs [2]ir.Reg
+	for _, r := range ins.Defs(defs[:0]) {
+		if c.offPathLive(r, pl, H, id) {
+			c.violate(rule, ins,
+				"definition of %s is live on paths bypassing home block %d (clobbers an off-path value at block %d)",
+				r, H, pl.block)
+		}
+	}
+}
+
+// offPathLive computes, on the snapshot program with block H masked and
+// with observers restricted to uses still placed downstream of pl, the
+// liveness of r just after position pl.pos of final block pl.block.
+func (c *checker) offPathLive(r ir.Reg, pl place, H int, id int) bool {
+	n := len(c.snap.order)
+	gen := make([]bool, n)
+	kill := make([]bool, n)
+	for b := 0; b < n; b++ {
+		seenDef := false
+		for _, id2 := range c.snap.order[b] {
+			ins2 := c.snap.instrs[id2]
+			if !seenDef && ins2.UsesReg(r) && c.observesDownstream(id2, pl) {
+				gen[b] = true
+			}
+			if ins2.DefsReg(r) {
+				seenDef = true
+			}
+		}
+		kill[b] = seenDef
+	}
+	liveIn := make([]bool, n)
+	for changed := true; changed; {
+		changed = false
+		for b := n - 1; b >= 0; b-- {
+			if b == H || liveIn[b] {
+				continue // the home block is masked; live stays live
+			}
+			out := false
+			for _, s := range c.an.succs[b] {
+				if liveIn[s] {
+					out = true
+					break
+				}
+			}
+			if gen[b] || (out && !kill[b]) {
+				liveIn[b] = true
+				changed = true
+			}
+		}
+	}
+	live := false
+	for _, s := range c.an.succs[pl.block] {
+		if liveIn[s] {
+			live = true
+			break
+		}
+	}
+	// Uses and kills between the new position and the end of its block
+	// are taken from the final layout: anything placed after the moved
+	// definition inside its block reads the new value directly.
+	instrs := c.f.Blocks[pl.block].Instrs
+	for k := len(instrs) - 1; k > pl.pos; k-- {
+		j := instrs[k]
+		if j.DefsReg(r) {
+			live = false
+			continue
+		}
+		if j.UsesReg(r) && !c.snapConsumer(id, j.ID) {
+			live = true
+		}
+	}
+	return live
+}
+
+// observesDownstream reports whether snapshot use u still executes
+// strictly downstream of the moved definition at pl in the final
+// program. Same-block observers are excluded here; the caller walks the
+// final block directly.
+func (c *checker) observesDownstream(u int, pl place) bool {
+	fp, ok := c.final[u]
+	if !ok {
+		return true // lost instruction: reported elsewhere, stay conservative
+	}
+	if fp.block == pl.block {
+		return false
+	}
+	return c.an.forwardReach(pl.block, fp.block)
+}
+
+// snapConsumer reports whether, in the snapshot, instruction cons was a
+// forward consumer of src: in the same block after it, or in a block
+// reachable from src's home in the forward graph.
+func (c *checker) snapConsumer(src, cons int) bool {
+	if o, ok := c.origin[cons]; ok {
+		cons = o
+	}
+	sh, ok := c.snap.home[src]
+	if !ok {
+		return false
+	}
+	ch, ok := c.snap.home[cons]
+	if !ok {
+		return false
+	}
+	if sh.block == ch.block {
+		return ch.pos > sh.pos
+	}
+	return c.an.forwardReach(sh.block, ch.block)
+}
+
+// depOrder re-derives every data dependence of the snapshot program and
+// checks that each one still executes in order at every placement pair.
+func (c *checker) depOrder() {
+	var buf []dep
+	emit := func(a, b *ir.Instr) {
+		buf = pairDeps(a, b, buf[:0])
+		for _, d := range buf {
+			c.checkDep(d)
+		}
+	}
+	for _, ids := range c.snap.order {
+		for x := 0; x < len(ids); x++ {
+			for y := x + 1; y < len(ids); y++ {
+				emit(c.snap.instrs[ids[x]], c.snap.instrs[ids[y]])
+			}
+		}
+	}
+	n := len(c.snap.order)
+	for ai := 0; ai < n; ai++ {
+		if !c.an.reach.has(ai) {
+			continue
+		}
+		for bi := 0; bi < n; bi++ {
+			if ai == bi || !c.an.forwardReach(ai, bi) {
+				continue
+			}
+			for _, x := range c.snap.order[ai] {
+				for _, y := range c.snap.order[bi] {
+					emit(c.snap.instrs[x], c.snap.instrs[y])
+				}
+			}
+		}
+	}
+}
+
+// checkDep verifies one snapshot dependence at every placement pair of
+// its endpoints.
+func (c *checker) checkDep(d dep) {
+	for _, px := range c.placements[d.From] {
+		for _, py := range c.placements[d.To] {
+			if px.block == py.block {
+				if px.pos >= py.pos {
+					c.violate("dependence", c.snap.instrs[d.From],
+						"%s dependence%s on %q reordered within block %d",
+						d.Kind, regSuffix(d), c.snap.instrs[d.To].String(), px.block)
+				}
+				continue
+			}
+			// When both endpoints are duplication groups, the cross-block
+			// pairs carry no constraint: every predecessor of the join
+			// holds an ordered copy of the whole chain (checked above as
+			// same-block pairs), and a path crossing two predecessors
+			// re-executes the chain consistently in the later one.
+			if c.dupGroup[d.From] && c.dupGroup[d.To] {
+				continue
+			}
+			if c.an.forwardReach(px.block, py.block) {
+				continue
+			}
+			if c.an.forwardReach(py.block, px.block) {
+				// A copy of To placed upstream of From is shadowed: any
+				// path that later reaches the join re-executes the copy in
+				// its entering predecessor after From (coverage is exactly
+				// once per predecessor, and same-block pairs order each
+				// predecessor's copy against From directly). Paths that
+				// bypass the join are duplication off-paths, covered by
+				// the §5.3 liveness check.
+				if c.dupGroup[d.To] {
+					continue
+				}
+				c.violate("dependence", c.snap.instrs[d.From],
+					"%s dependence%s on %q reversed across blocks (%d vs %d)",
+					d.Kind, regSuffix(d), c.snap.instrs[d.To].String(), px.block, py.block)
+				continue
+			}
+			// Parallel placements: legal only for duplication copies,
+			// whose paths are disjoint from the other endpoint's.
+			if c.dupGroup[d.From] || c.dupGroup[d.To] {
+				continue
+			}
+			c.violate("dependence", c.snap.instrs[d.From],
+				"%s dependence%s on %q split onto parallel blocks (%d vs %d)",
+				d.Kind, regSuffix(d), c.snap.instrs[d.To].String(), px.block, py.block)
+		}
+	}
+}
+
+func regSuffix(d dep) string {
+	if d.Kind == depMem {
+		return ""
+	}
+	return " (" + d.Reg.String() + ")"
+}
+
+// sameInstr compares everything but the ID and comment.
+func sameInstr(a, b *ir.Instr) bool {
+	if a.Op != b.Op || a.Def != b.Def || a.Def2 != b.Def2 || a.A != b.A || a.B != b.B ||
+		a.Imm != b.Imm || a.Target != b.Target || a.CRBit != b.CRBit || a.OnTrue != b.OnTrue {
+		return false
+	}
+	if (a.Mem == nil) != (b.Mem == nil) {
+		return false
+	}
+	if a.Mem != nil && *a.Mem != *b.Mem {
+		return false
+	}
+	if len(a.CallArgs) != len(b.CallArgs) {
+		return false
+	}
+	for i := range a.CallArgs {
+		if a.CallArgs[i] != b.CallArgs[i] {
+			return false
+		}
+	}
+	return true
+}

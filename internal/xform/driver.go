@@ -1,10 +1,13 @@
 package xform
 
 import (
+	"fmt"
+
 	"gsched/internal/cfg"
 	"gsched/internal/core"
 	"gsched/internal/ir"
 	"gsched/internal/rename"
+	"gsched/internal/verify"
 )
 
 // Config selects which parts of the §6 pipeline run.
@@ -46,18 +49,43 @@ func Run(f *ir.Func, opts core.Options, cfgX Config) (Stats, error) {
 		opts.Rename = false // done once
 	}
 
+	// With opts.Verify set, every scheduling pass is bracketed by a
+	// snapshot and an independent legality check. Unrolling and rotation
+	// restructure the flow graph, so each bracket snapshots after them:
+	// within a bracket the block skeleton is invariant, which is what the
+	// verifier relies on.
+	check := func(snap *verify.Snapshot, rules verify.Rules) error {
+		if snap == nil {
+			return nil
+		}
+		if err := verify.Check(snap, f, rules); err != nil {
+			return fmt.Errorf("xform: illegal schedule: %w", err)
+		}
+		return nil
+	}
+
 	if opts.Level > core.LevelNone {
 		if cfgX.Unroll {
 			st.LoopsUnrolled = transformInnerLoops(f, cfgX.UnrollMaxBlocks, UnrollOnce)
+		}
+		var snap *verify.Snapshot
+		if opts.Verify {
+			snap = verify.Capture(f)
 		}
 		// First pass: inner regions only.
 		scheduleFiltered(f, &opts, &st.Stats, func(r *cfg.Region, height int) bool {
 			return r.IsLoop && height == 0
 		})
+		if err := check(snap, opts.VerifyRules()); err != nil {
+			return st, err
+		}
 		rotated := 0
 		if cfgX.Rotate {
 			rotated = transformInnerLoops(f, cfgX.RotateMaxBlocks, Rotate)
 			st.LoopsRotated = rotated
+		}
+		if opts.Verify {
+			snap = verify.Capture(f)
 		}
 		// Second pass: rotated inner loops (now fresh regions) and the
 		// outer regions.
@@ -70,13 +98,24 @@ func Run(f *ir.Func, opts core.Options, cfgX Config) (Stats, error) {
 			}
 			return true
 		})
+		if err := check(snap, opts.VerifyRules()); err != nil {
+			return st, err
+		}
 	}
 
 	if opts.LocalPass {
+		var snap *verify.Snapshot
+		if opts.Verify {
+			snap = verify.Capture(f)
+		}
 		mach := opts.Machine
 		for _, b := range f.Blocks {
 			core.ScheduleBlockLocal(b, mach)
 			st.LocalBlocks++
+		}
+		// The basic block post-pass may not move anything across blocks.
+		if err := check(snap, verify.Rules{}); err != nil {
+			return st, err
 		}
 	}
 	return st, f.Validate()
