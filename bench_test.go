@@ -15,9 +15,12 @@ import (
 	"testing"
 
 	"gsched"
+	"gsched/internal/cfg"
 	"gsched/internal/core"
 	"gsched/internal/eval"
+	"gsched/internal/ir"
 	"gsched/internal/machine"
+	"gsched/internal/pdg"
 	"gsched/internal/sim"
 	"gsched/internal/workload"
 	"gsched/internal/xform"
@@ -217,6 +220,59 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 		if _, err := xform.RunProgram(prog, core.Defaults(mach, core.LevelSpeculative), xform.DefaultConfig()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// biggestRegion returns the flow analyses and root region of the largest
+// function of the LI workload, the hot input for the dependence
+// micro-benchmarks below.
+func biggestRegion(b *testing.B) (*ir.Func, *cfg.Graph, *cfg.LoopInfo, *cfg.Region) {
+	b.Helper()
+	prog, err := workload.LI().Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var best *ir.Func
+	for _, f := range prog.Funcs {
+		if best == nil || f.NumInstrs() > best.NumInstrs() {
+			best = f
+		}
+	}
+	g := cfg.Build(best)
+	li := cfg.FindLoops(g)
+	if li.Irreducible {
+		b.Fatal("LI workload unexpectedly irreducible")
+	}
+	return best, g, li, li.Root
+}
+
+// BenchmarkBuildDDG measures data dependence graph construction over the
+// root region of LI's largest function (the dominant cost of pdg.Build).
+func BenchmarkBuildDDG(b *testing.B) {
+	f, g, li, r := biggestRegion(b)
+	depView := g.Forward(r.Blocks, r.Header, func(u, v int) bool {
+		return v == r.Header && li.IsBackEdge(u, v)
+	})
+	reach := depView.ReachableFrom()
+	mach := machine.RS6K()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pdg.BuildDDG(f, r.Blocks, reach, mach)
+	}
+}
+
+// BenchmarkReachableFrom measures the transitive reachability relation
+// over the forward view of the same region.
+func BenchmarkReachableFrom(b *testing.B) {
+	_, g, li, r := biggestRegion(b)
+	depView := g.Forward(r.Blocks, r.Header, func(u, v int) bool {
+		return v == r.Header && li.IsBackEdge(u, v)
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		depView.ReachableFrom()
 	}
 }
 

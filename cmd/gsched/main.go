@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -36,6 +37,7 @@ var (
 	dot      = flag.String("dot", "", "emit the Graphviz CFG of this function to stdout")
 	trace    = flag.Int64("trace", 0, "with -run: print the issue trace of the first N instructions")
 	verifyF  = flag.Bool("verify", false, "check every schedule with the independent legality verifier; fail on violations")
+	jobs     = flag.Int("jobs", runtime.NumCPU(), "schedule this many functions concurrently (1 = sequential); schedules are identical at any setting")
 )
 
 func main() {
@@ -87,6 +89,7 @@ func realMain(path string) error {
 	}
 	opts := gsched.Defaults(mach, lv)
 	opts.Verify = *verifyF
+	opts.Parallelism = *jobs
 	var st gsched.PipelineStats
 	if *pipeline {
 		st, err = gsched.SchedulePipeline(prog, opts, gsched.DefaultPipeline())

@@ -165,16 +165,16 @@ func TestReachableFrom(t *testing.T) {
 	loop := li.Root.Inner[0]
 	sg := g.Forward(loop.Blocks, loop.Header, li.IsBackEdge)
 	reach := sg.ReachableFrom()
-	if !reach[bl(1)][bl(10)] {
+	if !reach.Reaches(bl(1), bl(10)) {
 		t.Error("BL10 should be reachable from BL1")
 	}
-	if reach[bl(2)][bl(6)] {
+	if reach.Reaches(bl(2), bl(6)) {
 		t.Error("BL6 must not be reachable from BL2 in the forward body")
 	}
-	if !reach[bl(6)][bl(10)] {
+	if !reach.Reaches(bl(6), bl(10)) {
 		t.Error("BL10 should be reachable from BL6")
 	}
-	if reach[bl(10)][bl(1)] {
+	if reach.Reaches(bl(10), bl(1)) {
 		t.Error("back edge must not make BL1 reachable from BL10 in the forward view")
 	}
 }

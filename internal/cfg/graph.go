@@ -138,9 +138,8 @@ func (g *Graph) Forward(nodes []int, entry int, isBack func(u, v int) bool) *Sub
 // subgraph (entry first). It returns an error if the subgraph is cyclic,
 // which for a forward view indicates an irreducible region.
 func (sg *Subgraph) Topological() ([]int, error) {
-	indeg := make(map[int]int, len(sg.Nodes))
+	indeg := make([]int, len(sg.Succs))
 	for _, u := range sg.Nodes {
-		indeg[u] += 0
 		for _, v := range sg.Succs[u] {
 			indeg[v]++
 		}
@@ -191,9 +190,13 @@ func (sg *Subgraph) Topological() ([]int, error) {
 // nested back edges.
 func (sg *Subgraph) CondensationOrder() []int {
 	// Tarjan's algorithm emits SCCs in reverse topological order.
-	index := make(map[int]int, len(sg.Nodes))
-	low := make(map[int]int, len(sg.Nodes))
-	onStack := make(map[int]bool, len(sg.Nodes))
+	n := len(sg.Succs)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
 	var stack []int
 	var sccs [][]int
 	next := 0
@@ -205,7 +208,7 @@ func (sg *Subgraph) CondensationOrder() []int {
 		stack = append(stack, u)
 		onStack[u] = true
 		for _, v := range sg.Succs[u] {
-			if _, seen := index[v]; !seen {
+			if index[v] < 0 {
 				strong(v)
 				if low[v] < low[u] {
 					low[u] = low[v]
@@ -231,7 +234,7 @@ func (sg *Subgraph) CondensationOrder() []int {
 	}
 	// Deterministic root order.
 	for _, u := range sg.Nodes {
-		if _, seen := index[u]; !seen {
+		if index[u] < 0 {
 			strong(u)
 		}
 	}
@@ -246,45 +249,98 @@ func (sg *Subgraph) CondensationOrder() []int {
 	return order
 }
 
-// ReachableFrom returns, for the subgraph, the transitive reachability
-// relation reach[u][v] = true iff there is a (possibly empty) path from u
-// to v using subgraph edges. Indexed by parent-graph node numbers, but
-// only member rows are populated.
-func (sg *Subgraph) ReachableFrom() map[int]map[int]bool {
+// Reach is the transitive reachability relation of a Subgraph, stored as
+// one bitset row per member node. Rows and bit positions are keyed by a
+// dense member index (ascending parent-graph node order); Reaches
+// translates parent-graph numbers, so callers never see the dense index.
+type Reach struct {
+	idx   []int    // parent-graph node -> dense index, -1 for non-members
+	words int      // row width in 64-bit words
+	rows  []uint64 // len(sg.Nodes) rows of `words` words each
+}
+
+// Reaches reports whether there is a (possibly empty) path from u to v
+// using subgraph edges. Non-member nodes reach nothing.
+func (r *Reach) Reaches(u, v int) bool {
+	if u < 0 || v < 0 || u >= len(r.idx) || v >= len(r.idx) {
+		return false
+	}
+	du, dv := r.idx[u], r.idx[v]
+	if du < 0 || dv < 0 {
+		return false
+	}
+	return r.rows[du*r.words+dv/64]&(1<<(uint(dv)%64)) != 0
+}
+
+func (sg *Subgraph) newReach() *Reach {
+	r := &Reach{idx: make([]int, len(sg.Succs))}
+	for i := range r.idx {
+		r.idx[i] = -1
+	}
+	for di, u := range sg.Nodes {
+		r.idx[u] = di
+	}
+	r.words = (len(sg.Nodes) + 63) / 64
+	r.rows = make([]uint64, len(sg.Nodes)*r.words)
+	return r
+}
+
+func (r *Reach) row(denseIdx int) []uint64 {
+	return r.rows[denseIdx*r.words : (denseIdx+1)*r.words]
+}
+
+// ReachableFrom returns the transitive reachability relation of the
+// subgraph: Reaches(u, v) iff there is a (possibly empty) path from u to
+// v using subgraph edges. Rows are dense bitsets, so the reverse
+// topological sweep unions whole successor rows with word-wide ORs
+// instead of per-node hashing.
+func (sg *Subgraph) ReachableFrom() *Reach {
+	r := sg.newReach()
 	order, err := sg.Topological()
-	reach := make(map[int]map[int]bool, len(sg.Nodes))
 	if err != nil {
-		// Fall back to per-node BFS for cyclic graphs.
+		// Fall back to per-node DFS for cyclic graphs.
 		for _, u := range sg.Nodes {
-			reach[u] = sg.bfsFrom(u)
+			sg.markFrom(u, r)
 		}
-		return reach
+		return r
 	}
 	for i := len(order) - 1; i >= 0; i-- {
 		u := order[i]
-		r := map[int]bool{u: true}
+		du := r.idx[u]
+		row := r.row(du)
+		row[du/64] |= 1 << (uint(du) % 64)
 		for _, v := range sg.Succs[u] {
-			for w := range reach[v] {
-				r[w] = true
+			vrow := r.row(r.idx[v])
+			for w := range row {
+				row[w] |= vrow[w]
 			}
 		}
-		reach[u] = r
 	}
-	return reach
+	return r
 }
 
-func (sg *Subgraph) bfsFrom(u int) map[int]bool {
-	r := map[int]bool{u: true}
+// markFrom sets u's row to everything reachable from u by explicit
+// traversal (cyclic subgraphs only).
+func (sg *Subgraph) markFrom(u int, r *Reach) {
+	row := r.row(r.idx[u])
+	set := func(v int) bool {
+		dv := r.idx[v]
+		w, b := dv/64, uint64(1)<<(uint(dv)%64)
+		if row[w]&b != 0 {
+			return false
+		}
+		row[w] |= b
+		return true
+	}
+	set(u)
 	stack := []int{u}
 	for len(stack) > 0 {
 		x := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, v := range sg.Succs[x] {
-			if !r[v] {
-				r[v] = true
+			if set(v) {
 				stack = append(stack, v)
 			}
 		}
 	}
-	return r
 }

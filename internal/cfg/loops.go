@@ -48,6 +48,27 @@ func (r *Region) OwnBlocks() []int {
 	return own
 }
 
+// RegionHeights returns the nesting height of every region in the tree
+// rooted at root: 0 for inner regions, 1 + the maximum child height
+// otherwise. One post-order walk replaces per-node recomputation, which
+// would make height queries quadratic in the nesting depth.
+func RegionHeights(root *Region) map[*Region]int {
+	heights := make(map[*Region]int)
+	var walk func(*Region) int
+	walk = func(r *Region) int {
+		h := 0
+		for _, in := range r.Inner {
+			if ch := walk(in) + 1; ch > h {
+				h = ch
+			}
+		}
+		heights[r] = h
+		return h
+	}
+	walk(root)
+	return heights
+}
+
 // Walk visits the region tree innermost-first (children before parents).
 func (r *Region) Walk(fn func(*Region)) {
 	for _, in := range r.Inner {

@@ -198,7 +198,7 @@ func TestCondensationOrderProperty(t *testing.T) {
 				if u == v {
 					continue
 				}
-				if reach[u][v] && !reach[v][u] && pos[u] > pos[v] {
+				if reach.Reaches(u, v) && !reach.Reaches(v, u) && pos[u] > pos[v] {
 					t.Logf("seed %d: %d should precede %d in %v\n%s", seed, u, v, order, f)
 					return false
 				}

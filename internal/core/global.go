@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"gsched/internal/cfg"
@@ -56,31 +56,49 @@ type regionScheduler struct {
 	st   *Stats
 
 	// scheduled marks instruction IDs placed at their final position.
-	scheduled map[int]bool
+	// All per-instruction state is dense, indexed by instruction ID
+	// (bounded by f.NumInstrIDs(), grown by ensureID when duplication
+	// clones instructions mid-region).
+	scheduled []bool
 	// cycleOf/blockOf record the session cycle and final block of
 	// scheduled instructions (cycleOf only meaningful within the
 	// session that placed them).
-	cycleOf map[int]int
-	blockOf map[int]int
+	cycleOf []int
+	blockOf []int
 	// pos is the original program position of every instruction.
-	pos map[int]int
+	pos []int
 	// own marks the region's own blocks (not part of any nested
-	// region). Only they run sessions and only they contribute
-	// candidates: instructions never move in or out of a region.
-	own map[int]bool
+	// region), indexed by block. Only they run sessions and only they
+	// contribute candidates: instructions never move in or out of a
+	// region.
+	own []bool
 	// live is the current live-variable analysis, recomputed after
 	// motions (§5.3: "this type of information has to be updated
-	// dynamically").
-	live *dataflow.Liveness
+	// dynamically"). It is computed lazily: liveStale marks it out of
+	// date, and liveness() reruns the analysis at the next query.
+	live      *dataflow.Liveness
+	liveStale bool
+	liveCalc  dataflow.Analyzer
 	// processed marks blocks whose sessions have completed (or that
-	// were pinned and passed) in this region walk.
-	processed map[int]bool
+	// were pinned and passed) in this region walk, indexed by block.
+	processed []bool
+}
+
+// ensureID grows the per-instruction tables to cover id (needed when
+// duplication clones instructions after the tables were sized).
+func (rs *regionScheduler) ensureID(id int) {
+	for id >= len(rs.scheduled) {
+		rs.scheduled = append(rs.scheduled, false)
+		rs.cycleOf = append(rs.cycleOf, 0)
+		rs.blockOf = append(rs.blockOf, 0)
+		rs.pos = append(rs.pos, 0)
+	}
 }
 
 // run schedules every own block of the region in topological order.
 func (rs *regionScheduler) run() {
-	rs.own = make(map[int]bool)
-	rs.processed = make(map[int]bool)
+	rs.own = make([]bool, len(rs.f.Blocks))
+	rs.processed = make([]bool, len(rs.f.Blocks))
 	for _, b := range rs.p.Region.OwnBlocks() {
 		rs.own[b] = true
 	}
@@ -106,20 +124,20 @@ func (rs *regionScheduler) run() {
 // (§5.1's candidate blocks and candidate instructions).
 func (rs *regionScheduler) gatherCandidates(a int) []*candidate {
 	var cands []*candidate
-	heights := make(map[int][2]map[int]int) // block -> (D, CP)
-	heightsOf := func(b int) (map[int]int, map[int]int) {
+	heights := make(map[int]*pdg.HeightVals) // block -> (D, CP)
+	heightsOf := func(b int) *pdg.HeightVals {
 		if h, ok := heights[b]; ok {
-			return h[0], h[1]
+			return h
 		}
-		d, cp := pdg.Heights(rs.f.Blocks[b], rs.p.DDG, rs.opts.Machine)
-		heights[b] = [2]map[int]int{d, cp}
-		return d, cp
+		h := pdg.Heights(rs.f.Blocks[b], rs.p.DDG, rs.opts.Machine)
+		heights[b] = &h
+		return &h
 	}
 	add := func(i *ir.Instr, home int, spec, dup bool, prob float64) {
-		d, cp := heightsOf(home)
+		h := heightsOf(home)
 		cands = append(cands, &candidate{
 			instr: i, home: home, spec: spec, dup: dup, prob: prob,
-			pos: rs.pos[i.ID], d: d[i.ID], cp: cp[i.ID],
+			pos: rs.pos[i.ID], d: h.D(i.ID), cp: h.CP(i.ID),
 		})
 	}
 	// The block's own instructions, including its terminator.
@@ -227,6 +245,7 @@ func (rs *regionScheduler) dupJoinsBelow(a int) []int {
 func (rs *regionScheduler) allowDuplicate(a int, join int, i *ir.Instr) bool {
 	var defs [2]ir.Reg
 	ds := i.Defs(defs[:0])
+	live := rs.liveness()
 	for _, p := range rs.g.Preds[join] {
 		pb := rs.f.Blocks[p]
 		if t := pb.Terminator(); t != nil {
@@ -241,7 +260,7 @@ func (rs *regionScheduler) allowDuplicate(a int, join int, i *ir.Instr) bool {
 				continue
 			}
 			for _, r := range ds {
-				if rs.live.In[s].Has(r) {
+				if live.In[s].Has(r) {
 					return false
 				}
 			}
@@ -256,37 +275,38 @@ func (rs *regionScheduler) allowDuplicate(a int, join int, i *ir.Instr) bool {
 // The block's own instructions are always viable: their predecessors are
 // in the block itself or in topologically earlier blocks.
 func (rs *regionScheduler) viability(a int, cands []*candidate) []*candidate {
-	viable := make(map[int]*candidate, len(cands))
+	viable := make([]*candidate, rs.f.NumInstrIDs())
 	for _, c := range cands {
 		viable[c.instr.ID] = c
 	}
 	for changed := true; changed; {
 		changed = false
-		for id, c := range viable {
-			if c.home == a {
+		for _, c := range cands {
+			id := c.instr.ID
+			if viable[id] == nil || c.home == a {
 				continue
 			}
 			ok := true
-			for _, e := range rs.p.DDG.Preds[id] {
+			for _, e := range rs.p.DDG.PredsOf(id) {
 				p := e.From.ID
-				if rs.scheduled[p] {
+				if p < len(rs.scheduled) && rs.scheduled[p] {
 					continue
 				}
-				if _, isCand := viable[p]; isCand {
+				if p < len(viable) && viable[p] != nil {
 					continue
 				}
 				ok = false
 				break
 			}
 			if !ok {
-				delete(viable, id)
+				viable[id] = nil
 				changed = true
 			}
 		}
 	}
 	out := cands[:0]
 	for _, c := range cands {
-		if _, ok := viable[c.instr.ID]; ok {
+		if viable[c.instr.ID] != nil {
 			out = append(out, c)
 		}
 	}
@@ -298,19 +318,28 @@ func (rs *regionScheduler) viability(a int, cands []*candidate) []*candidate {
 // With a profile, a clearly more probable speculative candidate wins
 // before the heuristics (the paper's branch-probability remark in §1).
 func better(x, y *candidate) bool {
-	if x.class() != y.class() {
-		return x.class() < y.class()
+	return compareCandidates(x, y) < 0
+}
+
+// compareCandidates is the three-way form of better, suitable for
+// slices.SortFunc: negative when x should be tried before y.
+func compareCandidates(x, y *candidate) int {
+	if cx, cy := x.class(), y.class(); cx != cy {
+		return cx - cy
 	}
 	if x.spec && (x.prob-y.prob > 0.25 || y.prob-x.prob > 0.25) {
-		return x.prob > y.prob
+		if x.prob > y.prob {
+			return -1
+		}
+		return 1
 	}
 	if x.d != y.d {
-		return x.d > y.d
+		return y.d - x.d
 	}
 	if x.cp != y.cp {
-		return x.cp > y.cp
+		return y.cp - x.cp
 	}
-	return x.pos < y.pos
+	return x.pos - y.pos
 }
 
 // scheduleBlock runs one cycle-driven scheduling session for block a.
@@ -323,7 +352,11 @@ func (rs *regionScheduler) scheduleBlock(a int) {
 	}
 	cands := rs.viability(a, rs.gatherCandidates(a))
 
-	done := make(map[int]bool, len(cands))
+	// done marks instructions placed in this session. Duplication can
+	// clone instructions mid-session; clone IDs fall outside the table
+	// and are never session-placed, so out-of-range reads are false.
+	done := make([]bool, rs.f.NumInstrIDs())
+	isDone := func(id int) bool { return id < len(done) && done[id] }
 	var newOrder []*ir.Instr
 	movedSomething := false
 
@@ -331,9 +364,9 @@ func (rs *regionScheduler) scheduleBlock(a int) {
 	// if some predecessor is not scheduled yet.
 	earliest := func(c *candidate) int {
 		at := 0
-		for _, e := range rs.p.DDG.Preds[c.instr.ID] {
+		for _, e := range rs.p.DDG.PredsOf(c.instr.ID) {
 			pid := e.From.ID
-			if done[pid] {
+			if isDone(pid) {
 				// Scheduled within this session.
 				t := rs.cycleOf[pid] + rs.opts.Machine.Exec(e.From.Op) + e.Delay
 				if t > at {
@@ -341,7 +374,7 @@ func (rs *regionScheduler) scheduleBlock(a int) {
 				}
 				continue
 			}
-			if rs.scheduled[pid] {
+			if pid < len(rs.scheduled) && rs.scheduled[pid] {
 				continue // completed in an earlier block
 			}
 			return -1
@@ -366,8 +399,8 @@ func (rs *regionScheduler) scheduleBlock(a int) {
 					continue
 				}
 				msg := fmt.Sprintf("own %s (id %d) waits on:", c.instr, c.instr.ID)
-				for _, e := range rs.p.DDG.Preds[c.instr.ID] {
-					if !done[e.From.ID] && !rs.scheduled[e.From.ID] {
+				for _, e := range rs.p.DDG.PredsOf(c.instr.ID) {
+					if !isDone(e.From.ID) && !rs.scheduled[e.From.ID] {
 						msg += fmt.Sprintf(" [%s id %d in BL%d kind %s]",
 							e.From, e.From.ID, rs.homeOf(e.From), e.Kind)
 					}
@@ -393,7 +426,7 @@ func (rs *regionScheduler) scheduleBlock(a int) {
 				ready = append(ready, c)
 			}
 		}
-		sort.Slice(ready, func(i, j int) bool { return better(ready[i], ready[j]) })
+		slices.SortFunc(ready, compareCandidates)
 
 		var unitsUsed [8]int
 
@@ -476,6 +509,7 @@ func (rs *regionScheduler) duplicateIntoPreds(a int, c *candidate) {
 		}
 		clone := rs.f.CloneInstr(c.instr)
 		insertBeforeTerminator(rs.f.Blocks[p], clone)
+		rs.ensureID(clone.ID)
 		rs.pos[clone.ID] = rs.pos[c.instr.ID]
 		if rs.processed[p] {
 			// The host block's session already ran; the copy counts as
@@ -493,15 +527,27 @@ func (rs *regionScheduler) duplicateIntoPreds(a int, c *candidate) {
 func (rs *regionScheduler) allowSpeculative(a int, i *ir.Instr) bool {
 	var defs [2]ir.Reg
 	for _, r := range i.Defs(defs[:0]) {
-		if rs.live.LiveOnExit(a, r) {
+		if rs.liveness().LiveOnExit(a, r) {
 			return false
 		}
 	}
 	return true
 }
 
+// refreshLiveness marks the live sets stale after a code motion; the
+// recomputation happens lazily at the next query. Several motions between
+// two queries then cost one analysis instead of one each, and the values
+// seen at every query are exactly those of an eager recomputation.
 func (rs *regionScheduler) refreshLiveness() {
-	rs.live = dataflow.Compute(rs.f, rs.g)
+	rs.liveStale = true
+}
+
+func (rs *regionScheduler) liveness() *dataflow.Liveness {
+	if rs.liveStale || rs.live == nil {
+		rs.live = rs.liveCalc.Compute(rs.f, rs.g)
+		rs.liveStale = false
+	}
+	return rs.live
 }
 
 // insertBeforeTerminator appends i to blk, keeping the terminator last.

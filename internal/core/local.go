@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"gsched/internal/ir"
 	"gsched/internal/machine"
@@ -19,7 +19,7 @@ func ScheduleBlockLocal(blk *ir.Block, mach *machine.Desc) {
 		return
 	}
 	ddg := pdg.BuildBlockDDG(blk, mach)
-	d, cp := pdg.Heights(blk, ddg, mach)
+	h := pdg.Heights(blk, ddg, mach)
 	term := blk.Terminator()
 
 	type node struct {
@@ -27,22 +27,32 @@ func ScheduleBlockLocal(blk *ir.Block, mach *machine.Desc) {
 		pos   int
 	}
 	nodes := make([]node, len(blk.Instrs))
+	// Per-instruction state is offset by the block's smallest ID so a
+	// short block late in a function does not pay for the whole
+	// function's ID space.
+	lo, hi := blk.Instrs[0].ID, blk.Instrs[0].ID
 	for k, i := range blk.Instrs {
 		nodes[k] = node{instr: i, pos: k}
+		if i.ID < lo {
+			lo = i.ID
+		}
+		if i.ID > hi {
+			hi = i.ID
+		}
 	}
-	done := make(map[int]bool, len(nodes))
-	cycleOf := make(map[int]int, len(nodes))
+	done := make([]bool, hi-lo+1)
+	cycleOf := make([]int, hi-lo+1)
 	newOrder := make([]*ir.Instr, 0, len(nodes))
 
 	earliest := func(i *ir.Instr) int {
 		at := 0
-		for _, e := range ddg.Preds[i.ID] {
-			if !done[e.From.ID] {
+		for _, e := range ddg.PredsOf(i.ID) {
+			if !done[e.From.ID-lo] {
 				// Predecessors outside the block were filtered out by
 				// BuildBlockDDG, so this one is simply unscheduled.
 				return -1
 			}
-			if t := cycleOf[e.From.ID] + mach.Exec(e.From.Op) + e.Delay; t > at {
+			if t := cycleOf[e.From.ID-lo] + mach.Exec(e.From.Op) + e.Delay; t > at {
 				at = t
 			}
 		}
@@ -50,10 +60,11 @@ func ScheduleBlockLocal(blk *ir.Block, mach *machine.Desc) {
 	}
 
 	cycle := 0
+	ready := make([]node, 0, len(nodes))
 	for len(newOrder) < len(nodes) {
-		var ready []node
+		ready = ready[:0]
 		for _, n := range nodes {
-			if done[n.instr.ID] {
+			if done[n.instr.ID-lo] {
 				continue
 			}
 			if n.instr == term && len(newOrder) < len(nodes)-1 {
@@ -63,15 +74,14 @@ func ScheduleBlockLocal(blk *ir.Block, mach *machine.Desc) {
 				ready = append(ready, n)
 			}
 		}
-		sort.Slice(ready, func(i, j int) bool {
-			x, y := ready[i], ready[j]
-			if d[x.instr.ID] != d[y.instr.ID] {
-				return d[x.instr.ID] > d[y.instr.ID]
+		slices.SortFunc(ready, func(x, y node) int {
+			if dx, dy := h.D(x.instr.ID), h.D(y.instr.ID); dx != dy {
+				return dy - dx
 			}
-			if cp[x.instr.ID] != cp[y.instr.ID] {
-				return cp[x.instr.ID] > cp[y.instr.ID]
+			if cx, cy := h.CP(x.instr.ID), h.CP(y.instr.ID); cx != cy {
+				return cy - cx
 			}
-			return x.pos < y.pos
+			return x.pos - y.pos
 		})
 		var unitsUsed [8]int
 		for _, n := range ready {
@@ -80,8 +90,8 @@ func ScheduleBlockLocal(blk *ir.Block, mach *machine.Desc) {
 				continue
 			}
 			unitsUsed[t]++
-			done[n.instr.ID] = true
-			cycleOf[n.instr.ID] = cycle
+			done[n.instr.ID-lo] = true
+			cycleOf[n.instr.ID-lo] = cycle
 			newOrder = append(newOrder, n.instr)
 		}
 		cycle++

@@ -12,6 +12,8 @@
 package core
 
 import (
+	"runtime"
+
 	"gsched/internal/machine"
 	"gsched/internal/profile"
 	"gsched/internal/verify"
@@ -96,6 +98,13 @@ type Options struct {
 	MaxRegionInstrs int
 	MaxRegionLevels int
 
+	// Parallelism schedules the functions of a program concurrently on
+	// up to this many workers (ScheduleProgram and the xform pipeline
+	// driver). Values <= 1 schedule sequentially. Functions are
+	// independent, so the emitted schedules and merged Stats are
+	// identical at every setting; only wall-clock time changes.
+	Parallelism int
+
 	// Verify snapshots every function before scheduling and checks the
 	// result with the independent legality verifier (internal/verify):
 	// instruction accounting, dependence order on every path, and the
@@ -123,7 +132,9 @@ func (o *Options) VerifyRules() verify.Rules {
 }
 
 // Defaults returns the configuration used for the paper's experiments at
-// the given level.
+// the given level. Functions are scheduled concurrently (one worker per
+// CPU); this cannot change any schedule — see Parallelism — so it is on
+// by default. Set Parallelism to 1 for a strictly sequential run.
 func Defaults(m *machine.Desc, level Level) Options {
 	return Options{
 		Machine:         m,
@@ -136,6 +147,7 @@ func Defaults(m *machine.Desc, level Level) Options {
 		MaxRegionBlocks: 64,
 		MaxRegionInstrs: 256,
 		MaxRegionLevels: 2,
+		Parallelism:     runtime.NumCPU(),
 	}
 }
 

@@ -2,9 +2,9 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"gsched/internal/cfg"
-	"gsched/internal/dataflow"
 	"gsched/internal/ir"
 	"gsched/internal/pdg"
 	"gsched/internal/rename"
@@ -54,9 +54,28 @@ func ScheduleFunc(f *ir.Func, opts Options) (Stats, error) {
 	return st, nil
 }
 
-// ScheduleProgram schedules every function of p.
+// ScheduleProgram schedules every function of p. Functions are
+// independent compilation units, so with opts.Parallelism > 1 they are
+// scheduled concurrently by a bounded worker pool. Results are
+// deterministic either way: each function's schedule depends only on
+// that function, and per-function Stats are merged in program order
+// after all workers finish.
 func ScheduleProgram(p *ir.Program, opts Options) (Stats, error) {
 	var st Stats
+	if opts.Parallelism > 1 && len(p.Funcs) > 1 {
+		stats := make([]Stats, len(p.Funcs))
+		errs := make([]error, len(p.Funcs))
+		runFuncsParallel(len(p.Funcs), opts.Parallelism, func(i int) {
+			stats[i], errs[i] = ScheduleFunc(p.Funcs[i], opts)
+		})
+		for i, err := range errs {
+			if err != nil {
+				return st, fmt.Errorf("%s: %w", p.Funcs[i].Name, err)
+			}
+			st.Add(stats[i])
+		}
+		return st, nil
+	}
 	for _, f := range p.Funcs {
 		s, err := ScheduleFunc(f, opts)
 		if err != nil {
@@ -67,25 +86,52 @@ func ScheduleProgram(p *ir.Program, opts Options) (Stats, error) {
 	return st, nil
 }
 
-// regionHeight computes the nesting height of a region: 0 for inner
-// regions, 1 + max child height otherwise.
-func regionHeight(r *cfg.Region) int {
-	h := 0
-	for _, in := range r.Inner {
-		if ch := regionHeight(in) + 1; ch > h {
-			h = ch
-		}
+// RunFuncsParallel runs fn(i) for every i in [0, n) on min(workers, n)
+// goroutines and waits for all of them. It is the worker pool shared by
+// ScheduleProgram and the xform pipeline driver; fn must only touch
+// state owned by index i.
+func RunFuncsParallel(n, workers int, fn func(i int)) {
+	runFuncsParallel(n, workers, fn)
+}
+
+func runFuncsParallel(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
 	}
-	return h
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
 }
 
 // scheduleRegions walks the region tree innermost-first and schedules
 // each eligible region (§6's configuration: only the two inner levels,
 // only "small" regions of at most MaxRegionBlocks blocks and
-// MaxRegionInstrs instructions, only reducible regions).
+// MaxRegionInstrs instructions, only reducible regions). Region heights
+// are computed once up front; recomputing them per node would be
+// quadratic in the nesting depth.
 func scheduleRegions(f *ir.Func, g *cfg.Graph, li *cfg.LoopInfo, opts *Options, st *Stats) {
+	heights := cfg.RegionHeights(li.Root)
 	li.Root.Walk(func(r *cfg.Region) {
-		if regionHeight(r) >= opts.MaxRegionLevels {
+		if heights[r] >= opts.MaxRegionLevels {
 			st.RegionsSkipped++
 			return
 		}
@@ -117,13 +163,15 @@ func ScheduleRegion(f *ir.Func, g *cfg.Graph, li *cfg.LoopInfo, r *cfg.Region, o
 	if err != nil {
 		return err
 	}
+	n := f.NumInstrIDs()
 	rs := &regionScheduler{
 		f: f, g: g, p: p, opts: opts, st: st,
-		scheduled: make(map[int]bool),
-		cycleOf:   make(map[int]int),
-		blockOf:   make(map[int]int),
+		scheduled: make([]bool, n),
+		cycleOf:   make([]int, n),
+		blockOf:   make([]int, n),
 		pos:       originalPositions(f),
-		live:      dataflow.Compute(f, g),
+		// live is computed lazily by rs.liveness() at the first
+		// speculative-motion query.
 	}
 	rs.run()
 	st.RegionsScheduled++
@@ -133,8 +181,8 @@ func ScheduleRegion(f *ir.Func, g *cfg.Graph, li *cfg.LoopInfo, r *cfg.Region, o
 // originalPositions maps instruction IDs to their position in the current
 // layout, used for the §5.2 final tie-break ("pick an instruction that
 // occurred in the code first").
-func originalPositions(f *ir.Func) map[int]int {
-	pos := make(map[int]int, f.NumInstrIDs())
+func originalPositions(f *ir.Func) []int {
+	pos := make([]int, f.NumInstrIDs())
 	n := 0
 	f.Instrs(func(_ *ir.Block, i *ir.Instr) {
 		pos[i.ID] = n

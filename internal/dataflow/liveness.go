@@ -128,44 +128,137 @@ type Liveness struct {
 // Compute runs the classic backward live-variable analysis over f using
 // the flow graph g.
 func Compute(f *ir.Func, g *cfg.Graph) *Liveness {
+	return new(Analyzer).Compute(f, g)
+}
+
+// Analyzer computes liveness repeatedly over one function, reusing all
+// of its buffers between runs. The scheduler refreshes liveness after
+// every speculative code motion, so the steady state allocates nothing:
+// all 4n per-block sets (use, def, in, out) are carved out of a single
+// backing array that is cleared and re-carved on each run, and the fixed
+// point updates sets word-wise in place instead of copying.
+//
+// The returned Liveness aliases the analyzer's buffers: it is valid
+// until the next Compute call on the same analyzer.
+type Analyzer struct {
+	sets    []RegSet
+	backing []uint64
+	lv      Liveness
+	work    []int
+	inWork  []bool
+}
+
+// Compute runs the analysis over f, reusing the analyzer's buffers.
+func (a *Analyzer) Compute(f *ir.Func, g *cfg.Graph) *Liveness {
 	n := len(f.Blocks)
-	lv := &Liveness{In: make([]*RegSet, n), Out: make([]*RegSet, n)}
-	use := make([]*RegSet, n)
-	def := make([]*RegSet, n)
+	var words [ir.NumClasses]int
+	perSet := 0
+	for c := 0; c < ir.NumClasses; c++ {
+		words[c] = (f.NumRegs(ir.RegClass(c)) + 63) / 64
+		perSet += words[c]
+	}
+	if need := 4 * n * perSet; cap(a.backing) < need {
+		a.backing = make([]uint64, need)
+	} else {
+		a.backing = a.backing[:need]
+		clear(a.backing)
+	}
+	if cap(a.sets) < 4*n {
+		a.sets = make([]RegSet, 4*n)
+	}
+	sets := a.sets[:4*n]
+	backing := a.backing
+	for i := range sets {
+		for c := 0; c < ir.NumClasses; c++ {
+			// Cap each slice at its own words so an out-of-range Add
+			// reallocates instead of clobbering the next set.
+			sets[i].bits[c] = backing[:words[c]:words[c]]
+			backing = backing[words[c]:]
+		}
+	}
+	if cap(a.lv.In) < n {
+		a.lv.In = make([]*RegSet, n)
+		a.lv.Out = make([]*RegSet, n)
+	}
+	lv := &a.lv
+	lv.In, lv.Out = lv.In[:n], lv.Out[:n]
+	var scratchBuf [8]ir.Reg
+	scratch := scratchBuf[:0]
 	for i, b := range f.Blocks {
-		use[i], def[i] = NewRegSet(f), NewRegSet(f)
-		lv.In[i], lv.Out[i] = NewRegSet(f), NewRegSet(f)
-		var scratch []ir.Reg
+		in, out := &sets[4*i], &sets[4*i+1]
+		use, def := &sets[4*i+2], &sets[4*i+3]
+		lv.In[i], lv.Out[i] = in, out
 		for _, ins := range b.Instrs {
 			scratch = ins.Uses(scratch[:0])
 			for _, r := range scratch {
-				if !def[i].Has(r) {
-					use[i].Add(r)
+				if !def.Has(r) {
+					use.Add(r)
 				}
 			}
 			scratch = ins.Defs(scratch[:0])
 			for _, r := range scratch {
-				def[i].Add(r)
+				def.Add(r)
 			}
 		}
 	}
-	// Iterate to a fixed point, visiting blocks in reverse layout order
-	// (a decent approximation of reverse control flow order).
-	for changed := true; changed; {
-		changed = false
-		for i := n - 1; i >= 0; i-- {
-			out := lv.Out[i]
-			for _, s := range g.Succs[i] {
-				if out.UnionInto(lv.In[s]) {
+	// A register noted after construction (bypassing Builder/NoteReg) can
+	// grow a use/def set past words[c]; keep every row the same width so
+	// the word-wise loop below sees aligned slices.
+	for c := 0; c < ir.NumClasses; c++ {
+		maxw := words[c]
+		for i := range sets {
+			if len(sets[i].bits[c]) > maxw {
+				maxw = len(sets[i].bits[c])
+			}
+		}
+		if maxw != words[c] {
+			for i := range sets {
+				for len(sets[i].bits[c]) < maxw {
+					sets[i].bits[c] = append(sets[i].bits[c], 0)
+				}
+			}
+		}
+	}
+	// Iterate to the (unique) fixed point with a worklist seeded in
+	// reverse layout order: a block is reprocessed only when the live-in
+	// set of one of its successors grew.
+	if cap(a.inWork) < n {
+		a.inWork = make([]bool, n)
+		a.work = make([]int, n)
+	}
+	inWork, work := a.inWork[:n], a.work[:n]
+	for i := 0; i < n; i++ {
+		work[i] = n - 1 - i
+		inWork[n-1-i] = true
+	}
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[i] = false
+		out := lv.Out[i]
+		for _, s := range g.Succs[i] {
+			out.UnionInto(lv.In[s])
+		}
+		// in ∪= use ∪ (out − def); monotone, like the old copy-based
+		// update, but in place.
+		in, use, def := lv.In[i], &sets[4*i+2], &sets[4*i+3]
+		changed := false
+		for c := 0; c < ir.NumClasses; c++ {
+			ib, ob, ub, db := in.bits[c], out.bits[c], use.bits[c], def.bits[c]
+			for w := range ib {
+				v := ub[w] | (ob[w] &^ db[w])
+				if v&^ib[w] != 0 {
+					ib[w] |= v
 					changed = true
 				}
 			}
-			// in = use ∪ (out − def)
-			newIn := out.Copy()
-			def[i].ForEach(newIn.Del)
-			newIn.UnionInto(use[i])
-			if lv.In[i].UnionInto(newIn) {
-				changed = true
+		}
+		if changed {
+			for _, p := range g.Preds[i] {
+				if !inWork[p] {
+					inWork[p] = true
+					work = append(work, p)
+				}
 			}
 		}
 	}

@@ -3,6 +3,7 @@ package pdg
 import (
 	"fmt"
 
+	"gsched/internal/cfg"
 	"gsched/internal/ir"
 	"gsched/internal/machine"
 )
@@ -46,22 +47,102 @@ type DepEdge struct {
 	Delay    int
 }
 
-// DDG is the data dependence graph over the instructions of a region,
-// indexed by instruction ID.
+// DDG is the data dependence graph over the instructions of a region.
+// Adjacency is dense: instruction IDs index Succs and Preds directly
+// (IDs are unique within a function and bounded by ir.Func.NumInstrIDs).
 type DDG struct {
-	Succs map[int][]DepEdge // From.ID -> outgoing edges
-	Preds map[int][]DepEdge // To.ID -> incoming edges
+	Succs [][]DepEdge // From.ID - base -> outgoing edges
+	Preds [][]DepEdge // To.ID - base -> incoming edges
 	Edges int
+
+	// base is the smallest instruction ID the adjacency arrays cover.
+	// Region graphs use base 0 so Succs/Preds are plain ID-indexed; the
+	// single-block graphs of the local scheduler set base to the block's
+	// smallest ID so a short block late in a function does not pay for
+	// the whole function's ID space. Use SuccsOf/PredsOf when base may
+	// be non-zero.
+	base int
+
+	pending []DepEdge // construction buffer, consumed by finalize
 }
 
-func newDDG() *DDG {
-	return &DDG{Succs: make(map[int][]DepEdge), Preds: make(map[int][]DepEdge)}
+func newDDG(base, numIDs, edgeHint int) *DDG {
+	return &DDG{
+		Succs:   make([][]DepEdge, numIDs),
+		Preds:   make([][]DepEdge, numIDs),
+		base:    base,
+		pending: make([]DepEdge, 0, edgeHint),
+	}
 }
 
 func (d *DDG) add(e DepEdge) {
-	d.Succs[e.From.ID] = append(d.Succs[e.From.ID], e)
-	d.Preds[e.To.ID] = append(d.Preds[e.To.ID], e)
+	d.pending = append(d.pending, e)
 	d.Edges++
+}
+
+// finalize builds the adjacency lists from the collected edges: one
+// counting pass sizes every per-instruction list exactly, then two
+// backing arrays are carved into the lists. Emission order is preserved,
+// and the whole graph costs a handful of allocations instead of one
+// append-growth chain per instruction.
+func (d *DDG) finalize() {
+	maxIdx := len(d.Succs) - 1
+	for i := range d.pending {
+		e := &d.pending[i]
+		if idx := e.From.ID - d.base; idx > maxIdx {
+			maxIdx = idx
+		}
+		if idx := e.To.ID - d.base; idx > maxIdx {
+			maxIdx = idx
+		}
+	}
+	if maxIdx+1 > len(d.Succs) {
+		d.Succs = make([][]DepEdge, maxIdx+1)
+		d.Preds = make([][]DepEdge, maxIdx+1)
+	}
+	nsucc := make([]int32, maxIdx+1)
+	npred := make([]int32, maxIdx+1)
+	for i := range d.pending {
+		nsucc[d.pending[i].From.ID-d.base]++
+		npred[d.pending[i].To.ID-d.base]++
+	}
+	backing := make([]DepEdge, 2*len(d.pending))
+	succBacking, predBacking := backing[:len(d.pending)], backing[len(d.pending):]
+	off := 0
+	for idx, c := range nsucc {
+		d.Succs[idx] = succBacking[off:off : off+int(c)]
+		off += int(c)
+	}
+	off = 0
+	for idx, c := range npred {
+		d.Preds[idx] = predBacking[off:off : off+int(c)]
+		off += int(c)
+	}
+	for _, e := range d.pending {
+		d.Succs[e.From.ID-d.base] = append(d.Succs[e.From.ID-d.base], e)
+		d.Preds[e.To.ID-d.base] = append(d.Preds[e.To.ID-d.base], e)
+	}
+	d.pending = nil
+}
+
+// SuccsOf returns the outgoing edges of the instruction with the given
+// ID; IDs allocated after the graph was built have none.
+func (d *DDG) SuccsOf(id int) []DepEdge {
+	idx := id - d.base
+	if idx < 0 || idx >= len(d.Succs) {
+		return nil
+	}
+	return d.Succs[idx]
+}
+
+// PredsOf returns the incoming edges of the instruction with the given
+// ID; IDs allocated after the graph was built have none.
+func (d *DDG) PredsOf(id int) []DepEdge {
+	idx := id - d.base
+	if idx < 0 || idx >= len(d.Preds) {
+		return nil
+	}
+	return d.Preds[idx]
 }
 
 // MayAlias implements the paper's memory disambiguation: two memory
@@ -100,93 +181,297 @@ func MayAlias(a, b *ir.Instr) bool {
 	return true
 }
 
-// dependence returns the data dependence edges from instruction a to a
-// later instruction b, if any (there may be up to two: a register edge
-// and a memory edge never coexist, but flow on one register and anti on
-// another can).
-func dependence(a, b *ir.Instr, mach *machine.Desc, buf []DepEdge) []DepEdge {
-	var uses, defs [4]ir.Reg
-	aDefs := a.Defs(defs[:0])
-	// Flow: a defines something b uses.
-	for _, r := range aDefs {
-		if b.UsesReg(r) {
-			buf = append(buf, DepEdge{From: a, To: b, Kind: Flow, Reg: r, Delay: mach.Delay(a, b, r)})
+// regEntry is one instruction touching a register, with its role.
+type regEntry struct {
+	i        *ir.Instr
+	def, use bool
+}
+
+// regTouches lists, in instruction order, a block's touches of one
+// register. defEntries is the subset that (re)defines it, so pure reads
+// pair only against writers and use-use pairs cost nothing.
+type regTouches struct {
+	entries    []regEntry
+	defEntries []regEntry
+}
+
+// blockIndex is the def/use index of one basic block: for every register
+// the instructions touching it in order, plus the memory-touching
+// instructions. It lets dependence construction visit exactly the
+// instruction pairs that interact instead of all pairs. regs is sorted by
+// (class, number) with touches parallel to it, so the inter-block pass
+// finds shared registers with a merge join instead of map lookups.
+type blockIndex struct {
+	regs    []ir.Reg
+	touches []*regTouches
+	mems    []*ir.Instr
+}
+
+// regLess orders registers by (class, number) for the merge join.
+func regLess(a, b ir.Reg) bool {
+	if a.Class != b.Class {
+		return a.Class < b.Class
+	}
+	return a.Num < b.Num
+}
+
+// sortRegs insertion-sorts the parallel regs/touches arrays; blocks touch
+// few distinct registers, so this beats the sort package's indirection.
+func (bi *blockIndex) sortRegs() {
+	for i := 1; i < len(bi.regs); i++ {
+		r, t := bi.regs[i], bi.touches[i]
+		j := i - 1
+		for j >= 0 && regLess(r, bi.regs[j]) {
+			bi.regs[j+1], bi.touches[j+1] = bi.regs[j], bi.touches[j]
+			j--
+		}
+		bi.regs[j+1], bi.touches[j+1] = r, t
+	}
+}
+
+// strongestKind returns the single strongest ordering edge between an
+// earlier toucher a and a later toucher b of one register. When several
+// dependence kinds apply to the same (From, To, Reg) — e.g. a defines r
+// and b both uses and redefines it — only the strongest is kept:
+// Flow (carries the pipeline delay) over Anti over Output. The weaker
+// edges order the same pair with zero delay, so dropping them cannot
+// change any schedule; emitting them only bloats the graph.
+func strongestKind(aDef, aUse, bDef, bUse bool) (DepKind, bool) {
+	switch {
+	case aDef && bUse:
+		return Flow, true
+	case aUse && bDef:
+		return Anti, true
+	case aDef && bDef:
+		return Output, true
+	}
+	return 0, false
+}
+
+func (d *DDG) emit(a, b *ir.Instr, kind DepKind, r ir.Reg, mach *machine.Desc) {
+	e := DepEdge{From: a, To: b, Kind: kind, Reg: r}
+	if kind == Flow {
+		e.Delay = mach.Delay(a, b, r)
+	}
+	d.add(e)
+}
+
+// instrTouch is the per-instruction operand summary: one entry per
+// distinct register, in operand order.
+type instrTouch struct {
+	r        ir.Reg
+	def, use bool
+}
+
+// indexBlock builds the def/use index of blk. When d is non-nil it also
+// emits the block's intra-block dependence edges along the way: each new
+// instruction is paired against the earlier touches of its registers
+// (all of them when it writes, writers only when it merely reads), and
+// against earlier memory references.
+func indexBlock(blk *ir.Block, mach *machine.Desc, d *DDG) *blockIndex {
+	bi := &blockIndex{}
+	// Registers are found via a packed-key map during the single walk
+	// (integer keys hit the runtime's fast map path); the map is discarded
+	// afterwards in favour of the sorted parallel arrays.
+	byReg := make(map[uint64]*regTouches)
+	packReg := func(r ir.Reg) uint64 { return uint64(r.Class)<<32 | uint64(uint32(r.Num)) }
+	var regBuf [8]ir.Reg
+	var touches []instrTouch
+	for _, ins := range blk.Instrs {
+		touches = touches[:0]
+		for _, r := range ins.Uses(regBuf[:0]) {
+			merged := false
+			for k := range touches {
+				if touches[k].r == r {
+					touches[k].use = true
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				touches = append(touches, instrTouch{r: r, use: true})
+			}
+		}
+		for _, r := range ins.Defs(regBuf[:0]) {
+			merged := false
+			for k := range touches {
+				if touches[k].r == r {
+					touches[k].def = true
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				touches = append(touches, instrTouch{r: r, def: true})
+			}
+		}
+		for _, t := range touches {
+			key := packReg(t.r)
+			rt := byReg[key]
+			if rt == nil {
+				rt = &regTouches{}
+				byReg[key] = rt
+				bi.regs = append(bi.regs, t.r)
+				bi.touches = append(bi.touches, rt)
+			}
+			if d != nil {
+				if t.def {
+					// A writer interacts with every earlier toucher.
+					for _, ea := range rt.entries {
+						if kind, ok := strongestKind(ea.def, ea.use, t.def, t.use); ok {
+							d.emit(ea.i, ins, kind, t.r, mach)
+						}
+					}
+				} else {
+					// A pure read depends only on earlier writers.
+					for _, ea := range rt.defEntries {
+						d.emit(ea.i, ins, Flow, t.r, mach)
+					}
+				}
+			}
+			entry := regEntry{i: ins, def: t.def, use: t.use}
+			rt.entries = append(rt.entries, entry)
+			if t.def {
+				rt.defEntries = append(rt.defEntries, entry)
+			}
+		}
+		if ins.Op.TouchesMemory() {
+			if d != nil {
+				for _, m := range bi.mems {
+					if m.Op.IsLoad() && ins.Op.IsLoad() {
+						continue // load-load pairs never conflict
+					}
+					if MayAlias(m, ins) {
+						d.add(DepEdge{From: m, To: ins, Kind: MemOrder, Reg: ir.NoReg})
+					}
+				}
+			}
+			bi.mems = append(bi.mems, ins)
 		}
 	}
-	// Anti: a uses something b defines.
-	aUses := a.Uses(uses[:0])
-	for _, r := range aUses {
-		if b.DefsReg(r) {
-			buf = append(buf, DepEdge{From: a, To: b, Kind: Anti, Reg: r})
+	bi.sortRegs()
+	return bi
+}
+
+// interBlockEdges emits the dependence edges from block index a to a
+// reachable later block index b: per shared register, writers of a
+// against every toucher of b and pure reads of a against writers of b,
+// plus the memory ordering pairs.
+func interBlockEdges(a, b *blockIndex, mach *machine.Desc, d *DDG) {
+	// Merge join over the two sorted register summaries: shared registers
+	// are found in one linear pass with no hashing.
+	for i, j := 0, 0; i < len(a.regs) && j < len(b.regs); {
+		switch {
+		case regLess(a.regs[i], b.regs[j]):
+			i++
+			continue
+		case regLess(b.regs[j], a.regs[i]):
+			j++
+			continue
+		}
+		r, ra, rb := a.regs[i], a.touches[i], b.touches[j]
+		i++
+		j++
+		for _, ea := range ra.entries {
+			if ea.def {
+				for _, eb := range rb.entries {
+					kind, _ := strongestKind(ea.def, ea.use, eb.def, eb.use)
+					d.emit(ea.i, eb.i, kind, r, mach)
+				}
+			} else {
+				for _, eb := range rb.defEntries {
+					d.emit(ea.i, eb.i, Anti, r, mach)
+				}
+			}
 		}
 	}
-	// Output: both define the same register.
-	for _, r := range aDefs {
-		if b.DefsReg(r) {
-			buf = append(buf, DepEdge{From: a, To: b, Kind: Output, Reg: r})
+	for _, x := range a.mems {
+		for _, y := range b.mems {
+			if x.Op.IsLoad() && y.Op.IsLoad() {
+				continue
+			}
+			if MayAlias(x, y) {
+				d.add(DepEdge{From: x, To: y, Kind: MemOrder, Reg: ir.NoReg})
+			}
 		}
 	}
-	// Memory ordering. Load-load pairs never conflict.
-	if a.Op.TouchesMemory() && b.Op.TouchesMemory() &&
-		!(a.Op.IsLoad() && b.Op.IsLoad()) && MayAlias(a, b) {
-		buf = append(buf, DepEdge{From: a, To: b, Kind: MemOrder, Reg: ir.NoReg})
-	}
-	return buf
 }
 
 // BuildDDG computes the data dependence graph over the given blocks of f:
 // intra-block dependences in instruction order, and inter-block
 // dependences for every pair (A, B) with B reachable from A in the
-// forward subgraph (§4.2 computes exactly these pairs).
-func BuildDDG(f *ir.Func, blocks []int, reach map[int]map[int]bool, mach *machine.Desc) *DDG {
-	d := newDDG()
-	var buf []DepEdge
+// forward subgraph (§4.2 computes exactly these pairs). Construction is
+// indexed by register rather than all-pairs: each block is walked once to
+// build per-register def/use tables and the memory reference chain, and
+// only instructions touching a common register (or memory) are paired,
+// so the work is proportional to the edges produced.
+func BuildDDG(f *ir.Func, blocks []int, reach *cfg.Reach, mach *machine.Desc) *DDG {
+	n := 0
 	for _, bi := range blocks {
-		blk := f.Blocks[bi]
-		// Intra-block: a strictly before b.
-		for x := 0; x < len(blk.Instrs); x++ {
-			for y := x + 1; y < len(blk.Instrs); y++ {
-				buf = dependence(blk.Instrs[x], blk.Instrs[y], mach, buf[:0])
-				for _, e := range buf {
-					d.add(e)
-				}
-			}
-		}
+		n += len(f.Blocks[bi].Instrs)
+	}
+	d := newDDG(0, f.NumInstrIDs(), 4*n)
+	indexes := make(map[int]*blockIndex, len(blocks))
+	for _, bi := range blocks {
+		indexes[bi] = indexBlock(f.Blocks[bi], mach, d)
 	}
 	for _, ai := range blocks {
 		for _, bi := range blocks {
-			if ai == bi || !reach[ai][bi] {
+			if ai == bi || !reach.Reaches(ai, bi) {
 				continue
 			}
-			ba, bb := f.Blocks[ai], f.Blocks[bi]
-			for _, x := range ba.Instrs {
-				for _, y := range bb.Instrs {
-					buf = dependence(x, y, mach, buf[:0])
-					for _, e := range buf {
-						d.add(e)
-					}
-				}
-			}
+			interBlockEdges(indexes[ai], indexes[bi], mach, d)
 		}
 	}
+	d.finalize()
 	return d
 }
 
 // BuildBlockDDG computes the intra-block dependence graph of a single
 // block, used by the basic block scheduler.
 func BuildBlockDDG(blk *ir.Block, mach *machine.Desc) *DDG {
-	d := newDDG()
-	var buf []DepEdge
-	for x := 0; x < len(blk.Instrs); x++ {
-		for y := x + 1; y < len(blk.Instrs); y++ {
-			buf = dependence(blk.Instrs[x], blk.Instrs[y], mach, buf[:0])
-			for _, e := range buf {
-				d.add(e)
-			}
-		}
-	}
+	lo, hi := instrIDRange(blk)
+	d := newDDG(lo, hi-lo+1, 4*len(blk.Instrs))
+	indexBlock(blk, mach, d)
+	d.finalize()
 	return d
 }
+
+// instrIDRange returns the smallest and largest instruction ID in blk
+// (0, -1 for an empty block).
+func instrIDRange(blk *ir.Block) (lo, hi int) {
+	lo, hi = 0, -1
+	for k, i := range blk.Instrs {
+		if k == 0 {
+			lo, hi = i.ID, i.ID
+			continue
+		}
+		if i.ID < lo {
+			lo = i.ID
+		}
+		if i.ID > hi {
+			hi = i.ID
+		}
+	}
+	return lo, hi
+}
+
+// HeightVals holds the two §5.2 priority functions of one block's
+// instructions, stored relative to the block's smallest instruction ID
+// so the arrays cover only the block's ID range. D and CP must only be
+// asked about instructions of the block they were computed for.
+type HeightVals struct {
+	base  int
+	d, cp []int
+	inBlk []bool
+}
+
+// D returns the delay heuristic of the instruction with the given ID.
+func (h *HeightVals) D(id int) int { return h.d[id-h.base] }
+
+// CP returns the critical-path height of the instruction with the given
+// ID.
+func (h *HeightVals) CP(id int) int { return h.cp[id-h.base] }
 
 // Heights computes the paper's two priority functions over the
 // instructions of one block, considering only dependence successors
@@ -194,33 +479,40 @@ func BuildBlockDDG(blk *ir.Block, mach *machine.Desc) *DDG {
 //
 //	D(I)  = max over successors J of D(J) + d(I,J)            (delay heuristic)
 //	CP(I) = max over successors J of CP(J) + d(I,J), + E(I)   (critical path)
-//
-// The returned maps are keyed by instruction ID.
-func Heights(blk *ir.Block, ddg *DDG, mach *machine.Desc) (D, CP map[int]int) {
-	D = make(map[int]int, len(blk.Instrs))
-	CP = make(map[int]int, len(blk.Instrs))
-	inBlock := make(map[int]bool, len(blk.Instrs))
+func Heights(blk *ir.Block, ddg *DDG, mach *machine.Desc) HeightVals {
+	lo, hi := instrIDRange(blk)
+	n := hi - lo + 1
+	if n < 0 {
+		n = 0
+	}
+	h := HeightVals{
+		base:  lo,
+		d:     make([]int, n),
+		cp:    make([]int, n),
+		inBlk: make([]bool, n),
+	}
 	for _, i := range blk.Instrs {
-		inBlock[i.ID] = true
+		h.inBlk[i.ID-lo] = true
 	}
 	// Visit in reverse order: successors of I within a block always come
 	// after I, so a reverse sweep visits successors first.
 	for k := len(blk.Instrs) - 1; k >= 0; k-- {
 		i := blk.Instrs[k]
 		dv, cp := 0, 0
-		for _, e := range ddg.Succs[i.ID] {
-			if !inBlock[e.To.ID] {
+		for _, e := range ddg.SuccsOf(i.ID) {
+			idx := e.To.ID - lo
+			if idx < 0 || idx >= n || !h.inBlk[idx] {
 				continue
 			}
-			if v := D[e.To.ID] + e.Delay; v > dv {
+			if v := h.d[idx] + e.Delay; v > dv {
 				dv = v
 			}
-			if v := CP[e.To.ID] + e.Delay; v > cp {
+			if v := h.cp[idx] + e.Delay; v > cp {
 				cp = v
 			}
 		}
-		D[i.ID] = dv
-		CP[i.ID] = cp + mach.Exec(i.Op)
+		h.d[i.ID-lo] = dv
+		h.cp[i.ID-lo] = cp + mach.Exec(i.Op)
 	}
-	return D, CP
+	return h
 }

@@ -88,12 +88,12 @@ func TestHeightsWithMultiCycleOps(t *testing.T) {
 	f.ReindexBlocks()
 	mach := machine.RS6K()
 	ddg := BuildBlockDDG(blk, mach)
-	_, cp := Heights(blk, ddg, mach)
+	h := Heights(blk, ddg, mach)
 	// CP(mul) >= MulTime + CP(add): the multi-cycle execution time
 	// enters the critical path.
-	if cp[mul.ID] < mach.MulTime+cp[add.ID] {
+	if h.CP(mul.ID) < mach.MulTime+h.CP(add.ID) {
 		t.Errorf("CP(mul)=%d too small (MulTime=%d, CP(add)=%d)",
-			cp[mul.ID], mach.MulTime, cp[add.ID])
+			h.CP(mul.ID), mach.MulTime, h.CP(add.ID))
 	}
 }
 

@@ -21,7 +21,7 @@ type PDG struct {
 	Dom     *cfg.DomTree
 	PDom    *cfg.PostDomTree
 	CDG     *CDG
-	Reach   map[int]map[int]bool
+	Reach   *cfg.Reach
 	DDG     *DDG
 
 	// equivAll[b] lists all blocks identically control dependent with b

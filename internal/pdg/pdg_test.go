@@ -190,21 +190,21 @@ func TestHeights(t *testing.T) {
 	p, f := minmaxPDG(t)
 	bl1 := f.Blocks[1]
 	ddg := p.DDG
-	D, CP := Heights(bl1, ddg, machine.RS6K())
+	h := Heights(bl1, ddg, machine.RS6K())
 	i1, i2, i3, i4 := bl1.Instrs[0], bl1.Instrs[1], bl1.Instrs[2], bl1.Instrs[3]
-	if D[i4.ID] != 0 || CP[i4.ID] != 1 {
-		t.Errorf("I4: D=%d CP=%d, want 0,1", D[i4.ID], CP[i4.ID])
+	if h.D(i4.ID) != 0 || h.CP(i4.ID) != 1 {
+		t.Errorf("I4: D=%d CP=%d, want 0,1", h.D(i4.ID), h.CP(i4.ID))
 	}
-	if D[i3.ID] != 3 || CP[i3.ID] != 5 {
-		t.Errorf("I3: D=%d CP=%d, want 3,5", D[i3.ID], CP[i3.ID])
+	if h.D(i3.ID) != 3 || h.CP(i3.ID) != 5 {
+		t.Errorf("I3: D=%d CP=%d, want 3,5", h.D(i3.ID), h.CP(i3.ID))
 	}
-	if D[i2.ID] != 4 || CP[i2.ID] != 7 {
-		t.Errorf("I2: D=%d CP=%d, want 4,7", D[i2.ID], CP[i2.ID])
+	if h.D(i2.ID) != 4 || h.CP(i2.ID) != 7 {
+		t.Errorf("I2: D=%d CP=%d, want 4,7", h.D(i2.ID), h.CP(i2.ID))
 	}
 	// I1: successors are I3 (flow, delay 1) and I2 (anti on r31, delay
 	// 0), so D = max(3+1, 4+0) = 4 and CP = max(5+1, 7+0) + 1 = 8.
-	if D[i1.ID] != 4 || CP[i1.ID] != 8 {
-		t.Errorf("I1: D=%d CP=%d, want 4,8", D[i1.ID], CP[i1.ID])
+	if h.D(i1.ID) != 4 || h.CP(i1.ID) != 8 {
+		t.Errorf("I1: D=%d CP=%d, want 4,8", h.D(i1.ID), h.CP(i1.ID))
 	}
 }
 

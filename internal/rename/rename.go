@@ -10,6 +10,10 @@
 // cr6 and cr7 across blocks, and Figure 6's speculative motion of I12
 // into BL1 is only legal after its destination is renamed (the paper
 // prints it as cr5).
+//
+// All per-instruction and per-register facts live in dense slices:
+// instructions are keyed by Instr.ID (bounded by Func.NumInstrIDs) and
+// registers by a packed index laid out class after class.
 package rename
 
 import (
@@ -29,15 +33,29 @@ type defSite struct {
 // Run renames registers in f and returns the number of webs that
 // received a fresh name. The flow graph g must match f.
 func Run(f *ir.Func, g *cfg.Graph) int {
+	numIDs := f.NumInstrIDs()
+	// Packed register index: the registers of all classes share one
+	// dense id space, class after class.
+	var regBase [ir.NumClasses]int
+	numRegs := 0
+	for c := 0; c < ir.NumClasses; c++ {
+		regBase[c] = numRegs
+		numRegs += f.NumRegs(ir.RegClass(c))
+	}
+	regIdx := func(r ir.Reg) int { return regBase[r.Class] + int(r.Num) }
+
 	// 1. Enumerate definition sites.
 	var defs []defSite
-	defIdx := make(map[*ir.Instr][2]int) // per-instruction def ids; -1 when absent
-	regDefs := make(map[ir.Reg][]int)    // register -> def ids (for kill sets)
+	defIdx := make([][2]int32, numIDs) // instr ID -> def ids; -1 when absent
+	for i := range defIdx {
+		defIdx[i] = [2]int32{-1, -1}
+	}
+	regDefs := make([][]int32, numRegs) // packed register -> def ids (for kill sets)
 
-	addDef := func(i *ir.Instr, slot int, r ir.Reg) int {
-		id := len(defs)
+	addDef := func(i *ir.Instr, slot int, r ir.Reg) int32 {
+		id := int32(len(defs))
 		defs = append(defs, defSite{instr: i, slot: slot, reg: r})
-		regDefs[r] = append(regDefs[r], id)
+		regDefs[regIdx(r)] = append(regDefs[regIdx(r)], id)
 		return id
 	}
 
@@ -45,19 +63,23 @@ func Run(f *ir.Func, g *cfg.Graph) int {
 	// be read before written (conservatively: any register used in the
 	// function gets an entry def; webs that never see it are unaffected
 	// because it only reaches uses not covered by a real def).
-	entryDef := make(map[ir.Reg]int)
+	entryDef := make([]int32, numRegs) // packed register -> entry def id; -1 absent
+	for i := range entryDef {
+		entryDef[i] = -1
+	}
 	noteEntry := func(r ir.Reg) {
 		if !r.Valid() {
 			return
 		}
-		if _, ok := entryDef[r]; !ok {
-			entryDef[r] = addDef(nil, -1, r)
+		if entryDef[regIdx(r)] < 0 {
+			entryDef[regIdx(r)] = addDef(nil, -1, r)
 		}
 	}
 	for _, p := range f.Params {
 		noteEntry(p)
 	}
-	var scratch []ir.Reg
+	var scratchBuf [8]ir.Reg
+	scratch := scratchBuf[:0]
 	f.Instrs(func(_ *ir.Block, i *ir.Instr) {
 		scratch = i.Uses(scratch[:0])
 		for _, r := range scratch {
@@ -65,48 +87,50 @@ func Run(f *ir.Func, g *cfg.Graph) int {
 		}
 	})
 	f.Instrs(func(_ *ir.Block, i *ir.Instr) {
-		ids := [2]int{-1, -1}
+		ids := [2]int32{-1, -1}
 		if i.Def.Valid() {
 			ids[0] = addDef(i, 0, i.Def)
 		}
 		if i.Def2.Valid() {
 			ids[1] = addDef(i, 1, i.Def2)
 		}
-		defIdx[i] = ids
+		defIdx[i.ID] = ids
 	})
 
 	nd := len(defs)
 	words := (nd + 63) / 64
 
 	// 2. Reaching definitions (block-level gen/kill, then instruction
-	// walk).
+	// walk). The four bit-vectors per block are carved from one backing
+	// array.
 	nb := len(f.Blocks)
 	gen := make([][]uint64, nb)
 	kill := make([][]uint64, nb)
 	in := make([][]uint64, nb)
 	out := make([][]uint64, nb)
+	backing := make([]uint64, 4*nb*words)
 	for bi := range f.Blocks {
-		gen[bi] = make([]uint64, words)
-		kill[bi] = make([]uint64, words)
-		in[bi] = make([]uint64, words)
-		out[bi] = make([]uint64, words)
+		gen[bi], backing = backing[:words:words], backing[words:]
+		kill[bi], backing = backing[:words:words], backing[words:]
+		in[bi], backing = backing[:words:words], backing[words:]
+		out[bi], backing = backing[:words:words], backing[words:]
 	}
-	set := func(bs []uint64, id int) { bs[id/64] |= 1 << (uint(id) % 64) }
-	clear := func(bs []uint64, id int) { bs[id/64] &^= 1 << (uint(id) % 64) }
-	has := func(bs []uint64, id int) bool { return bs[id/64]&(1<<(uint(id)%64)) != 0 }
+	set := func(bs []uint64, id int32) { bs[id/64] |= 1 << (uint(id) % 64) }
+	clr := func(bs []uint64, id int32) { bs[id/64] &^= 1 << (uint(id) % 64) }
+	has := func(bs []uint64, id int32) bool { return bs[id/64]&(1<<(uint(id)%64)) != 0 }
 
 	for bi, b := range f.Blocks {
 		for _, i := range b.Instrs {
-			ids := defIdx[i]
+			ids := defIdx[i.ID]
 			for s := 0; s < 2; s++ {
 				id := ids[s]
 				if id < 0 {
 					continue
 				}
-				for _, other := range regDefs[defs[id].reg] {
+				for _, other := range regDefs[regIdx(defs[id].reg)] {
 					if other != id {
 						set(kill[bi], other)
-						clear(gen[bi], other)
+						clr(gen[bi], other)
 					}
 				}
 				set(gen[bi], id)
@@ -116,7 +140,9 @@ func Run(f *ir.Func, g *cfg.Graph) int {
 	// Entry block starts with the virtual entry defs.
 	entryIn := make([]uint64, words)
 	for _, id := range entryDef {
-		set(entryIn, id)
+		if id >= 0 {
+			set(entryIn, id)
+		}
 	}
 	copy(in[0], entryIn)
 
@@ -148,38 +174,44 @@ func Run(f *ir.Func, g *cfg.Graph) int {
 
 	// 3. Union-find webs over def sites; walk each block connecting
 	// every use to the defs reaching it.
-	parent := make([]int, nd)
+	parent := make([]int32, nd)
 	for i := range parent {
-		parent[i] = i
+		parent[i] = int32(i)
 	}
-	var find func(int) int
-	find = func(x int) int {
+	var find func(int32) int32
+	find = func(x int32) int32 {
 		for parent[x] != x {
 			parent[x] = parent[parent[x]]
 			x = parent[x]
 		}
 		return x
 	}
-	union := func(a, b int) { parent[find(a)] = find(b) }
+	union := func(a, b int32) { parent[find(a)] = find(b) }
 
-	// useWeb remembers a representative def for each use slot so the
-	// rewrite can look up the web register.
-	type useSlot struct {
-		instr *ir.Instr
-		which int // 0=A, 1=B, 2=Mem.Base, 3+k=CallArgs[k]
+	// useDef remembers a representative def for each use slot so the
+	// rewrite can look up the web register. Use slots of instruction i
+	// live at useOff[i.ID]: 0=A, 1=B, 2=Mem.Base, 3+k=CallArgs[k].
+	useOff := make([]int32, numIDs)
+	totalSlots := 0
+	f.Instrs(func(_ *ir.Block, i *ir.Instr) {
+		useOff[i.ID] = int32(totalSlots)
+		totalSlots += 3 + len(i.CallArgs)
+	})
+	useDef := make([]int32, totalSlots)
+	for i := range useDef {
+		useDef[i] = -1
 	}
-	useDef := make(map[useSlot]int)
 
 	cur := make([]uint64, words)
 	for bi, b := range f.Blocks {
 		copy(cur, in[bi])
 		for _, i := range b.Instrs {
-			connect := func(r ir.Reg, which int) {
+			connect := func(r ir.Reg, which int32) {
 				if !r.Valid() {
 					return
 				}
-				first := -1
-				for _, id := range regDefs[r] {
+				first := int32(-1)
+				for _, id := range regDefs[regIdx(r)] {
 					if has(cur, id) {
 						if first < 0 {
 							first = id
@@ -189,7 +221,7 @@ func Run(f *ir.Func, g *cfg.Graph) int {
 					}
 				}
 				if first >= 0 {
-					useDef[useSlot{i, which}] = first
+					useDef[useOff[i.ID]+which] = first
 				}
 			}
 			connect(i.A, 0)
@@ -198,16 +230,16 @@ func Run(f *ir.Func, g *cfg.Graph) int {
 				connect(i.Mem.Base, 2)
 			}
 			for k, a := range i.CallArgs {
-				connect(a, 3+k)
+				connect(a, int32(3+k))
 			}
-			ids := defIdx[i]
+			ids := defIdx[i.ID]
 			for s := 0; s < 2; s++ {
 				id := ids[s]
 				if id < 0 {
 					continue
 				}
-				for _, other := range regDefs[defs[id].reg] {
-					clear(cur, other)
+				for _, other := range regDefs[regIdx(defs[id].reg)] {
+					clr(cur, other)
 				}
 				set(cur, id)
 			}
@@ -220,23 +252,28 @@ func Run(f *ir.Func, g *cfg.Graph) int {
 	// the first real definition of each register also keeps the
 	// original name, so renaming is minimal and output remains
 	// recognisable.
-	webReg := make(map[int]ir.Reg)
-	for _, id := range entryDef {
-		webReg[find(id)] = defs[id].reg
+	webReg := make([]ir.Reg, nd) // by web representative; NoReg = unassigned
+	for i := range webReg {
+		webReg[i] = ir.NoReg
 	}
-	keepFirst := make(map[ir.Reg]bool)
+	for _, id := range entryDef {
+		if id >= 0 {
+			webReg[find(id)] = defs[id].reg
+		}
+	}
+	keepFirst := make([]bool, numRegs)
 	renamed := 0
 	for id := 0; id < nd; id++ {
 		d := defs[id]
 		if d.instr == nil {
 			continue
 		}
-		w := find(id)
-		if _, ok := webReg[w]; ok {
+		w := find(int32(id))
+		if webReg[w].Valid() {
 			continue
 		}
-		if !keepFirst[d.reg] {
-			keepFirst[d.reg] = true
+		if !keepFirst[regIdx(d.reg)] {
+			keepFirst[regIdx(d.reg)] = true
 			webReg[w] = d.reg
 			continue
 		}
@@ -250,7 +287,7 @@ func Run(f *ir.Func, g *cfg.Graph) int {
 		if d.instr == nil {
 			continue
 		}
-		r := webReg[find(id)]
+		r := webReg[find(int32(id))]
 		if d.slot == 0 {
 			d.instr.Def = r
 		} else {
@@ -258,11 +295,12 @@ func Run(f *ir.Func, g *cfg.Graph) int {
 		}
 	}
 	f.Instrs(func(_ *ir.Block, i *ir.Instr) {
-		rw := func(which int, get ir.Reg, put func(ir.Reg)) {
+		base := useOff[i.ID]
+		rw := func(which int32, get ir.Reg, put func(ir.Reg)) {
 			if !get.Valid() {
 				return
 			}
-			if id, ok := useDef[useSlot{i, which}]; ok {
+			if id := useDef[base+which]; id >= 0 {
 				put(webReg[find(id)])
 			}
 		}
@@ -273,7 +311,7 @@ func Run(f *ir.Func, g *cfg.Graph) int {
 		}
 		for k := range i.CallArgs {
 			k := k
-			rw(3+k, i.CallArgs[k], func(r ir.Reg) { i.CallArgs[k] = r })
+			rw(int32(3+k), i.CallArgs[k], func(r ir.Reg) { i.CallArgs[k] = r })
 		}
 	})
 	return renamed

@@ -121,9 +121,29 @@ func Run(f *ir.Func, opts core.Options, cfgX Config) (Stats, error) {
 	return st, f.Validate()
 }
 
-// RunProgram applies Run to every function of p.
+// RunProgram applies Run to every function of p. Functions are
+// independent, so with opts.Parallelism > 1 they run concurrently on a
+// bounded worker pool; schedules and merged Stats are identical to the
+// sequential run (per-function results are combined in program order
+// after all workers finish).
 func RunProgram(p *ir.Program, opts core.Options, cfgX Config) (Stats, error) {
 	var st Stats
+	if opts.Parallelism > 1 && len(p.Funcs) > 1 {
+		stats := make([]Stats, len(p.Funcs))
+		errs := make([]error, len(p.Funcs))
+		core.RunFuncsParallel(len(p.Funcs), opts.Parallelism, func(i int) {
+			stats[i], errs[i] = Run(p.Funcs[i], opts, cfgX)
+		})
+		for i, err := range errs {
+			if err != nil {
+				return st, err
+			}
+			st.Stats.Add(stats[i].Stats)
+			st.LoopsUnrolled += stats[i].LoopsUnrolled
+			st.LoopsRotated += stats[i].LoopsRotated
+		}
+		return st, nil
+	}
 	for _, f := range p.Funcs {
 		s, err := Run(f, opts, cfgX)
 		if err != nil {
@@ -213,8 +233,9 @@ func scheduleFiltered(f *ir.Func, opts *core.Options, st *core.Stats,
 		st.RegionsSkipped++
 		return
 	}
+	heights := cfg.RegionHeights(li.Root)
 	li.Root.Walk(func(r *cfg.Region) {
-		h := heightOf(r)
+		h := heights[r]
 		if !keep(r, h) {
 			return
 		}
@@ -236,14 +257,4 @@ func scheduleFiltered(f *ir.Func, opts *core.Options, st *core.Stats,
 			st.RegionsSkipped++
 		}
 	})
-}
-
-func heightOf(r *cfg.Region) int {
-	h := 0
-	for _, in := range r.Inner {
-		if ch := heightOf(in) + 1; ch > h {
-			h = ch
-		}
-	}
-	return h
 }

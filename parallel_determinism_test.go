@@ -1,0 +1,57 @@
+package gsched_test
+
+import (
+	"testing"
+
+	"gsched"
+	"gsched/internal/core"
+	"gsched/internal/machine"
+	"gsched/internal/workload"
+	"gsched/internal/xform"
+)
+
+// TestParallelSchedulingDeterministic checks the Options.Parallelism
+// contract: each function's schedule depends only on that function, so a
+// program scheduled by the bounded worker pool must be byte-identical —
+// same instructions, same order, same merged Stats — to the same program
+// scheduled sequentially. Run under -race this also exercises the worker
+// pool for data races across every workload and scheduling level.
+func TestParallelSchedulingDeterministic(t *testing.T) {
+	mach := machine.RS6K()
+	for _, w := range workload.All() {
+		for _, lv := range []core.Level{core.LevelNone, core.LevelUseful, core.LevelSpeculative} {
+			seqProg, err := w.Compile()
+			if err != nil {
+				t.Fatalf("%s: %v", w.Name, err)
+			}
+			parProg, err := w.Compile()
+			if err != nil {
+				t.Fatalf("%s: %v", w.Name, err)
+			}
+
+			seqOpts := core.Defaults(mach, lv)
+			seqOpts.Parallelism = 1
+			seqStats, err := xform.RunProgram(seqProg, seqOpts, xform.DefaultConfig())
+			if err != nil {
+				t.Fatalf("%s level=%v sequential: %v", w.Name, lv, err)
+			}
+
+			// Force more workers than the machine may have CPUs so the
+			// pool path is exercised even on single-core runners.
+			parOpts := core.Defaults(mach, lv)
+			parOpts.Parallelism = 8
+			parStats, err := xform.RunProgram(parProg, parOpts, xform.DefaultConfig())
+			if err != nil {
+				t.Fatalf("%s level=%v parallel: %v", w.Name, lv, err)
+			}
+
+			if seqAsm, parAsm := gsched.PrintAsm(seqProg), gsched.PrintAsm(parProg); seqAsm != parAsm {
+				t.Errorf("%s level=%v: parallel schedule differs from sequential", w.Name, lv)
+			}
+			if seqStats != parStats {
+				t.Errorf("%s level=%v: stats differ: sequential %+v, parallel %+v",
+					w.Name, lv, seqStats, parStats)
+			}
+		}
+	}
+}
