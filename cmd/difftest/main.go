@@ -1,0 +1,81 @@
+// Command difftest runs the differential-testing engine: seeded-random
+// programs × a configuration lattice of machines and scheduler options,
+// cross-checked by differential simulation, the independent legality
+// verifier, and exhaustive schedule enumeration on small blocks. Any
+// disagreement is shrunk to a minimal reproducer.
+//
+// Usage:
+//
+//	difftest [flags]
+//
+// Examples:
+//
+//	difftest -seed 42 -programs 16
+//	difftest -seed 1 -out testdata/difftest
+//	difftest -inject        // self-test: plant a bug, expect a catch
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gsched/internal/difftest"
+)
+
+var (
+	seed      = flag.Int64("seed", 1, "base seed for programs and random machines")
+	programs  = flag.Int("programs", 8, "number of generated programs to sweep")
+	randoms   = flag.Int("machines", 2, "number of seeded-random machines beyond the presets")
+	bruteMax  = flag.Int("brute", 8, "largest block fed to the exhaustive-schedule oracle")
+	maxBugs   = flag.Int("max-mismatches", 3, "stop after this many shrunk reproducers")
+	outDir    = flag.String("out", "", "write shrunk reproducers (.asm) into this directory")
+	inject    = flag.Bool("inject", false, "self-test: corrupt every schedule with a dependence swap; exit 0 only if the engine catches it")
+	quietFlag = flag.Bool("q", false, "print only the final summary line")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: difftest [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	rep, err := realMain()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "difftest:", err)
+		os.Exit(1)
+	}
+	if !*quietFlag {
+		for _, m := range rep.Mismatches {
+			fmt.Printf("MISMATCH %s\n%s\n", m, m.Asm)
+		}
+	}
+	fmt.Println(rep)
+	if *inject {
+		if len(rep.Mismatches) == 0 {
+			fmt.Fprintln(os.Stderr, "difftest: injected bug was NOT caught")
+			os.Exit(1)
+		}
+		fmt.Println("difftest: injected bug caught and shrunk; harness is alive")
+		return
+	}
+	if len(rep.Mismatches) > 0 {
+		os.Exit(1)
+	}
+}
+
+func realMain() (*difftest.Report, error) {
+	e := &difftest.Engine{
+		Seed:           *seed,
+		Programs:       *programs,
+		RandomMachines: *randoms,
+		BruteMax:       *bruteMax,
+		MaxMismatches:  *maxBugs,
+		OutDir:         *outDir,
+	}
+	if *inject {
+		e.Mutate = difftest.SwapDependent
+	}
+	return e.Run()
+}

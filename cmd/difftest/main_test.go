@@ -1,0 +1,45 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRealMainCleanSweep(t *testing.T) {
+	*seed = 3
+	*programs = 2
+	*randoms = 1
+	*bruteMax = 7
+	*maxBugs = 3
+	*outDir = ""
+	*inject = false
+	rep, err := realMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cells == 0 || len(rep.Mismatches) != 0 {
+		t.Fatalf("clean sweep failed: %s", rep)
+	}
+}
+
+func TestRealMainInjectWritesRepro(t *testing.T) {
+	dir := t.TempDir()
+	*seed = 3
+	*programs = 2
+	*randoms = 1
+	*bruteMax = 7
+	*maxBugs = 1
+	*outDir = dir
+	*inject = true
+	rep, err := realMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Mismatches) == 0 {
+		t.Fatal("injected bug not caught")
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "repro-*.asm"))
+	if len(files) == 0 {
+		t.Error("no reproducer written")
+	}
+}

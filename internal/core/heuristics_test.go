@@ -42,6 +42,62 @@ func TestDecisionOrder(t *testing.T) {
 	}
 }
 
+// TestTieBreakTiers pins the §5.2 tie-break tiers one at a time: the
+// two candidates in each case are identical except for the single field
+// under test, so a win can only come from that tier.
+func TestTieBreakTiers(t *testing.T) {
+	base := func() candidate {
+		return candidate{spec: false, dup: false, d: 3, cp: 7, pos: 4, prob: 1}
+	}
+	cases := []struct {
+		tier   string
+		mutate func(win, lose *candidate)
+	}{
+		{"class: useful before speculative", func(w, l *candidate) {
+			l.spec = true
+		}},
+		{"class: speculative before duplication", func(w, l *candidate) {
+			w.spec = true
+			l.dup = true
+		}},
+		{"D: larger delay-criticality first", func(w, l *candidate) {
+			w.d, l.d = 5, 4
+		}},
+		{"CP: larger critical path breaks D ties", func(w, l *candidate) {
+			w.cp, l.cp = 8, 7
+		}},
+		{"program order breaks full ties", func(w, l *candidate) {
+			w.pos, l.pos = 0, 1
+		}},
+	}
+	for _, c := range cases {
+		win, lose := base(), base()
+		c.mutate(&win, &lose)
+		if !better(&win, &lose) {
+			t.Errorf("%s: winner did not win (%+v vs %+v)", c.tier, win, lose)
+		}
+		if better(&lose, &win) {
+			t.Errorf("%s: loser beat the winner (%+v vs %+v)", c.tier, lose, win)
+		}
+	}
+
+	// The tiers compose: sorting candidates that each lose at a
+	// different tier reproduces the documented priority order exactly.
+	useful := &candidate{d: 1, cp: 1, pos: 9, prob: 1}
+	bigD := &candidate{spec: true, d: 9, cp: 1, pos: 8, prob: 1}
+	bigCP := &candidate{spec: true, d: 1, cp: 9, pos: 7, prob: 1}
+	early := &candidate{spec: true, d: 1, cp: 1, pos: 1, prob: 1}
+	dup := &candidate{dup: true, d: 9, cp: 9, pos: 0, prob: 1}
+	pool := []*candidate{dup, early, bigCP, bigD, useful}
+	sort.Slice(pool, func(i, j int) bool { return better(pool[i], pool[j]) })
+	want := []*candidate{useful, bigD, bigCP, early, dup}
+	for i := range want {
+		if pool[i] != want[i] {
+			t.Fatalf("composed order wrong at %d: got %+v", i, pool[i])
+		}
+	}
+}
+
 // TestDecisionOrderIsStrictWeakOrder: sort.Slice demands consistency;
 // check antisymmetry and transitivity on a brute-force candidate pool.
 func TestDecisionOrderIsStrictWeakOrder(t *testing.T) {

@@ -1,0 +1,112 @@
+package difftest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gsched/internal/asm"
+	"gsched/internal/core"
+)
+
+// TestDiffLattice is the acceptance test for the differential engine:
+// a full sweep over the configuration lattice with all three oracles
+// silent, plus a fault-injection run proving a legality bug is caught
+// and shrunk to a handful of instructions.
+func TestDiffLattice(t *testing.T) {
+	t.Run("lattice", func(t *testing.T) {
+		run := func() *Report {
+			e := &Engine{Seed: 1, Programs: 6, RandomMachines: 2}
+			rep, err := e.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rep
+		}
+		rep := run()
+		t.Log(rep)
+		if rep.Cells < 200 {
+			t.Errorf("swept only %d cells, want >= 200", rep.Cells)
+		}
+		for _, m := range rep.Mismatches {
+			t.Errorf("oracle disagreement:\n%s\n%s", m, m.Asm)
+		}
+		if rep.BruteBlocks == 0 {
+			t.Error("exhaustive oracle never fired; lower BruteMax or grow the corpus")
+		}
+		if rep.OptimalBlocks == 0 {
+			t.Error("scheduler never hit a brute-force optimum (suspicious)")
+		}
+		if rep2 := run(); rep.String() != rep2.String() {
+			t.Errorf("non-deterministic sweep:\n  first:  %s\n  second: %s", rep, rep2)
+		}
+	})
+
+	t.Run("injected-bug", func(t *testing.T) {
+		dir := t.TempDir()
+		e := &Engine{
+			Seed:           1,
+			Programs:       4,
+			RandomMachines: 1,
+			MaxMismatches:  1,
+			OutDir:         dir,
+			Mutate:         SwapDependent,
+		}
+		rep, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Mismatches) == 0 {
+			t.Fatal("injected dependence swap was not caught by any oracle")
+		}
+		m := rep.Mismatches[0]
+		t.Logf("caught: %s", m)
+		if m.Instrs > 6 {
+			t.Errorf("reproducer has %d instructions, want <= 6:\n%s", m.Instrs, m.Asm)
+		}
+		if _, err := asm.Parse(m.Asm); err != nil {
+			t.Errorf("shrunk reproducer does not reparse: %v", err)
+		}
+		files, err := filepath.Glob(filepath.Join(dir, "repro-*.asm"))
+		if err != nil || len(files) == 0 {
+			t.Fatalf("no reproducer written to %s (err %v)", dir, err)
+		}
+		data, err := os.ReadFile(files[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, want := range []string{"; difftest reproducer", "; oracle:", "; cell:"} {
+			if !strings.Contains(string(data), want) {
+				t.Errorf("reproducer file missing %q header", want)
+			}
+		}
+	})
+}
+
+// TestLatticeShape pins the lattice geometry: 8 cells per machine, with
+// duplication tied to the speculative level.
+func TestLatticeShape(t *testing.T) {
+	ms := Machines(7, 3)
+	if len(ms) != 7 {
+		t.Fatalf("Machines(7, 3) = %d machines, want 7", len(ms))
+	}
+	cells := Lattice(ms)
+	if len(cells) != 8*len(ms) {
+		t.Fatalf("lattice has %d cells, want %d", len(cells), 8*len(ms))
+	}
+	seen := make(map[string]bool)
+	for _, c := range cells {
+		if seen[c.String()] {
+			t.Errorf("duplicate cell %s", c)
+		}
+		seen[c.String()] = true
+		if c.Duplicate != (c.Level == core.LevelSpeculative) {
+			t.Errorf("cell %s: duplication should track the speculative level", c)
+		}
+		o := c.Options()
+		if o.Rename || o.Verify {
+			t.Errorf("cell %s: engine must own renaming and verification", c)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package difftest
+
+import (
+	"gsched/internal/asm"
+	"gsched/internal/core"
+	"gsched/internal/ir"
+	"gsched/internal/machine"
+)
+
+// shrink reduces a failing (program, machine, options) triple to a
+// minimal reproducer by greedy delta debugging: first the cell is
+// simplified (fewer workers, no renaming, no duplication, useful-only,
+// simpler machine), then whole non-entry functions and then single
+// instructions are dropped to a fixpoint. A candidate is kept only if
+// it still validates, still runs functionally, and still trips an
+// oracle (not necessarily the original one — any failure is a bug).
+func (e *Engine) shrink(prog *ir.Program, entry string, args []int64, cell Cell, orig *oracleError) *Mismatch {
+	cur := cloneProgram(prog)
+	lastErr := orig
+
+	fails := func(p *ir.Program, c Cell) *oracleError {
+		var res *oracleError
+		func() {
+			defer func() {
+				// A candidate that crashes the harness outside the
+				// scheduler (broken CFG during renaming, say) is simply
+				// rejected.
+				if recover() != nil {
+					res = nil
+				}
+			}()
+			w := cloneProgram(p)
+			if w == nil {
+				return
+			}
+			if err := w.Validate(); err != nil {
+				return
+			}
+			want, err := e.baseline(w, entry, args)
+			if err != nil {
+				return
+			}
+			res = e.checkCell(nil, w, entry, args, want, c)
+		}()
+		return res
+	}
+
+	// Phase 1: simplify the cell. Each simplification is kept only if
+	// the failure survives it.
+	tryCell := func(c Cell) {
+		if err := fails(cur, c); err != nil {
+			cell, lastErr = c, err
+		}
+	}
+	if cell.Parallelism != 1 {
+		c := cell
+		c.Parallelism = 1
+		tryCell(c)
+	}
+	if cell.Rename {
+		c := cell
+		c.Rename = false
+		tryCell(c)
+	}
+	if cell.Duplicate {
+		c := cell
+		c.Duplicate = false
+		tryCell(c)
+	}
+	if cell.Level != core.LevelUseful {
+		c := cell
+		c.Level = core.LevelUseful
+		c.Duplicate = false
+		tryCell(c)
+	}
+	for _, m := range []*machine.Desc{machine.Scalar(), machine.RS6K()} {
+		if cell.Machine.Name == m.Name {
+			break
+		}
+		c := cell
+		c.Machine = m
+		if err := fails(cur, c); err != nil {
+			cell, lastErr = c, err
+			break
+		}
+	}
+
+	// Phase 2: drop whole non-entry functions.
+	for fi := 0; fi < len(cur.Funcs); {
+		if cur.Funcs[fi].Name == entry {
+			fi++
+			continue
+		}
+		cand := cloneProgram(cur)
+		cand.Funcs = append(cand.Funcs[:fi], cand.Funcs[fi+1:]...)
+		if err := fails(cand, cell); err != nil {
+			cur, lastErr = cand, err
+		} else {
+			fi++
+		}
+	}
+
+	// Phase 3: drop single instructions to a fixpoint. Positions are
+	// flat indexes recomputed from a fresh clone each attempt, because
+	// the asm round-trip may normalise block structure.
+	for changed := true; changed; {
+		changed = false
+		for pos := 0; ; {
+			cand := cloneProgram(cur)
+			if cand == nil || !removeInstrAt(cand, pos) {
+				break
+			}
+			if err := fails(cand, cell); err != nil {
+				cur, lastErr = cand, err
+				changed = true
+				// The next instruction now occupies pos; stay put.
+			} else {
+				pos++
+			}
+		}
+	}
+
+	return &Mismatch{
+		Cell:   cell,
+		Oracle: lastErr.oracle,
+		Err:    lastErr.err.Error(),
+		Asm:    asm.Print(cur),
+		Instrs: countInstrs(cur),
+	}
+}
+
+// removeInstrAt deletes the pos-th instruction (flat order over funcs
+// and blocks) in place, reporting whether pos was in range.
+func removeInstrAt(p *ir.Program, pos int) bool {
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			if pos < len(b.Instrs) {
+				b.Instrs = append(append([]*ir.Instr(nil), b.Instrs[:pos]...), b.Instrs[pos+1:]...)
+				return true
+			}
+			pos -= len(b.Instrs)
+		}
+	}
+	return false
+}
+
+func countInstrs(p *ir.Program) int {
+	n := 0
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			n += len(b.Instrs)
+		}
+	}
+	return n
+}
+
+// SwapDependent swaps the first adjacent pair of dependent
+// non-terminator instructions it finds — a canned scheduler bug used to
+// prove the engine catches and shrinks genuine legality violations
+// (difftest's own tests and cmd/difftest -inject).
+func SwapDependent(p *ir.Program) bool {
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for k := 0; k+1 < len(b.Instrs); k++ {
+				a, c := b.Instrs[k], b.Instrs[k+1]
+				if a.Op.IsTerminator() || c.Op.IsTerminator() {
+					continue
+				}
+				if depends(a, c) {
+					b.Instrs[k], b.Instrs[k+1] = c, a
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

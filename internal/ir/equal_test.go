@@ -1,0 +1,79 @@
+package ir
+
+import "testing"
+
+func eqProg() *Program {
+	p := NewProgram()
+	p.Syms = append(p.Syms, &Symbol{Name: "a", Words: 4, Init: []int64{1, 2}})
+	f := NewFunc("main")
+	f.Params = []Reg{GPR(1)}
+	b := f.NewBlock("entry")
+	add := f.NewInstr(OpAdd)
+	add.Def, add.A, add.B = GPR(2), GPR(1), GPR(1)
+	ld := f.NewInstr(OpLoad)
+	ld.Def = GPR(3)
+	ld.Mem = &Mem{Sym: "a", Base: NoReg, Off: 4}
+	ret := f.NewInstr(OpRet)
+	ret.A = GPR(2)
+	b.Instrs = append(b.Instrs, add, ld, ret)
+	p.AddFunc(f)
+	return p
+}
+
+func TestEqualProgramsIgnoresIDAndComment(t *testing.T) {
+	a, b := eqProg(), eqProg()
+	if !EqualPrograms(a, b) {
+		t.Fatal("identical programs compare unequal")
+	}
+	for _, i := range b.Funcs[0].Blocks[0].Instrs {
+		i.ID += 100
+		i.Comment = "renumbered"
+	}
+	if !EqualPrograms(a, b) {
+		t.Error("IDs and comments must not affect equality")
+	}
+	// An unlabeled empty block is pure fallthrough and must not affect
+	// equality either; a labeled empty block is a branch target and must.
+	b.Funcs[0].NewBlock("")
+	if !EqualPrograms(a, b) {
+		t.Error("unlabeled empty block affected equality")
+	}
+	b.Funcs[0].NewBlock("tail")
+	if EqualPrograms(a, b) {
+		t.Error("labeled empty block not detected")
+	}
+}
+
+func TestEqualProgramsDetectsDifferences(t *testing.T) {
+	mutations := []struct {
+		name   string
+		mutate func(*Program)
+	}{
+		{"opcode", func(p *Program) { p.Funcs[0].Blocks[0].Instrs[0].Op = OpSub }},
+		{"operand", func(p *Program) { p.Funcs[0].Blocks[0].Instrs[0].A = GPR(9) }},
+		{"immediate", func(p *Program) { p.Funcs[0].Blocks[0].Instrs[0].Imm = 7 }},
+		{"memory offset", func(p *Program) { p.Funcs[0].Blocks[0].Instrs[1].Mem.Off = 8 }},
+		{"memory dropped", func(p *Program) { p.Funcs[0].Blocks[0].Instrs[1].Mem = nil }},
+		{"instruction order", func(p *Program) {
+			ins := p.Funcs[0].Blocks[0].Instrs
+			ins[0], ins[1] = ins[1], ins[0]
+		}},
+		{"instruction dropped", func(p *Program) {
+			b := p.Funcs[0].Blocks[0]
+			b.Instrs = b.Instrs[1:]
+		}},
+		{"block label", func(p *Program) { p.Funcs[0].Blocks[0].Label = "other" }},
+		{"function name", func(p *Program) { p.Funcs[0].Name = "other" }},
+		{"param list", func(p *Program) { p.Funcs[0].Params = nil }},
+		{"frame size", func(p *Program) { p.Funcs[0].FrameWords = 3 }},
+		{"symbol size", func(p *Program) { p.Syms[0].Words = 5 }},
+		{"symbol init", func(p *Program) { p.Syms[0].Init[0] = 9 }},
+	}
+	for _, m := range mutations {
+		a, b := eqProg(), eqProg()
+		m.mutate(b)
+		if EqualPrograms(a, b) {
+			t.Errorf("%s: mutation not detected", m.name)
+		}
+	}
+}

@@ -8,6 +8,7 @@ package machine
 
 import (
 	"fmt"
+	"math/rand"
 
 	"gsched/internal/ir"
 )
@@ -73,12 +74,54 @@ type Desc struct {
 	TakenOnlyBranchDelay bool
 }
 
+// Validate checks that d describes a machine the model can realise:
+// at least one unit of every type (§2 requires n_t >= 1 for each of the
+// m unit types), execution times of at least one cycle (§2's t >= 1),
+// and non-negative pipeline delays (§2's d >= 0). It returns the first
+// violated constraint.
+func (d *Desc) Validate() error {
+	for t := UnitType(0); t < NumUnitTypes; t++ {
+		if d.NumUnits[t] < 1 {
+			return fmt.Errorf("machine %q: %d %s units, want >= 1", d.Name, d.NumUnits[t], t)
+		}
+	}
+	if d.MulTime < 1 {
+		return fmt.Errorf("machine %q: multiply time %d, want >= 1", d.Name, d.MulTime)
+	}
+	if d.DivTime < 1 {
+		return fmt.Errorf("machine %q: divide time %d, want >= 1", d.Name, d.DivTime)
+	}
+	for _, c := range []struct {
+		name string
+		v    int
+	}{
+		{"load", d.LoadDelay},
+		{"compare-to-branch", d.CmpBranchDelay},
+		{"float", d.FloatDelay},
+		{"float compare-to-branch", d.FloatCmpBranchDelay},
+	} {
+		if c.v < 0 {
+			return fmt.Errorf("machine %q: negative %s delay %d", d.Name, c.name, c.v)
+		}
+	}
+	return nil
+}
+
+// mustValidate backs the preset constructors: an invalid preset is a
+// programming error, not an input error.
+func mustValidate(d *Desc) *Desc {
+	if err := d.Validate(); err != nil {
+		panic("machine: " + err.Error())
+	}
+	return d
+}
+
 // RS6K returns the RISC System/6000 model of §2.1: one fixed point, one
 // floating point and one branch unit; delayed loads of one cycle; a
 // three cycle compare-to-branch delay (charged whether the branch is
 // taken or not, per the paper's footnote 2).
 func RS6K() *Desc {
-	return &Desc{
+	return mustValidate(&Desc{
 		Name:                "rs6k",
 		NumUnits:            [NumUnitTypes]int{Fixed: 1, Float: 1, Branch: 1},
 		MulTime:             5,
@@ -87,7 +130,7 @@ func RS6K() *Desc {
 		CmpBranchDelay:      3,
 		FloatDelay:          1,
 		FloatCmpBranchDelay: 5,
-	}
+	})
 }
 
 // Superscalar returns an RS6K-delay machine with nFixed fixed point units
@@ -98,7 +141,57 @@ func Superscalar(nFixed, nBranch int) *Desc {
 	d.Name = fmt.Sprintf("ss%dx%d", nFixed, nBranch)
 	d.NumUnits[Fixed] = nFixed
 	d.NumUnits[Branch] = nBranch
-	return d
+	return mustValidate(d)
+}
+
+// Scalar returns the degenerate 1-wide corner: one unit of each type,
+// single-cycle execution and no pipeline delays, so instruction order
+// barely matters. Schedules that only stay correct by accident of the
+// RS6K delay shape tend to fail differential tests here.
+func Scalar() *Desc {
+	return mustValidate(&Desc{
+		Name:     "scalar",
+		NumUnits: [NumUnitTypes]int{Fixed: 1, Float: 1, Branch: 1},
+		MulTime:  1,
+		DivTime:  1,
+	})
+}
+
+// Wide returns the degenerate infinitely-wide corner: RS6K execution
+// times and delays but effectively unlimited units of every type, so
+// issue is constrained by dependences alone (the paper's closing remark
+// about machines with more computational units, taken to its limit).
+func Wide() *Desc {
+	d := RS6K()
+	d.Name = "wide"
+	for t := range d.NumUnits {
+		d.NumUnits[t] = 64
+	}
+	return mustValidate(d)
+}
+
+// Random returns a seeded-random but always valid machine description:
+// unit counts, execution times and the four delay kinds are drawn from
+// ranges that bracket the RS6K values on both sides (including the
+// no-delay and heavily-delayed corners). Equal seeds give equal
+// machines, so differential-test failures replay exactly.
+func Random(seed int64) *Desc {
+	r := rand.New(rand.NewSource(seed))
+	d := &Desc{
+		Name: fmt.Sprintf("rand%d", seed),
+		NumUnits: [NumUnitTypes]int{
+			Fixed:  1 + r.Intn(4),
+			Float:  1 + r.Intn(3),
+			Branch: 1 + r.Intn(2),
+		},
+		MulTime:             1 + r.Intn(8),
+		DivTime:             1 + r.Intn(24),
+		LoadDelay:           r.Intn(4),
+		CmpBranchDelay:      r.Intn(6),
+		FloatDelay:          r.Intn(4),
+		FloatCmpBranchDelay: r.Intn(9),
+	}
+	return mustValidate(d)
 }
 
 // Unit returns the functional unit type that executes op.

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"fmt"
 	"testing"
 
 	"gsched/internal/ir"
@@ -115,5 +116,93 @@ func TestStringIncludesShape(t *testing.T) {
 	s := Superscalar(2, 1).String()
 	if s == "" || s == "ss2x1" {
 		t.Errorf("String() too terse: %q", s)
+	}
+}
+
+// TestValidate pins each constraint of Desc.Validate with a mutation
+// that violates exactly that constraint.
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Desc)
+		ok     bool
+	}{
+		{"rs6k is valid", func(*Desc) {}, true},
+		{"zero delays are valid", func(d *Desc) {
+			d.LoadDelay, d.CmpBranchDelay, d.FloatDelay, d.FloatCmpBranchDelay = 0, 0, 0, 0
+		}, true},
+		{"zero fixed units", func(d *Desc) { d.NumUnits[Fixed] = 0 }, false},
+		{"zero float units", func(d *Desc) { d.NumUnits[Float] = 0 }, false},
+		{"negative branch units", func(d *Desc) { d.NumUnits[Branch] = -1 }, false},
+		{"zero multiply time", func(d *Desc) { d.MulTime = 0 }, false},
+		{"zero divide time", func(d *Desc) { d.DivTime = 0 }, false},
+		{"negative load delay", func(d *Desc) { d.LoadDelay = -1 }, false},
+		{"negative compare-to-branch delay", func(d *Desc) { d.CmpBranchDelay = -2 }, false},
+		{"negative float delay", func(d *Desc) { d.FloatDelay = -1 }, false},
+		{"negative float compare-to-branch delay", func(d *Desc) { d.FloatCmpBranchDelay = -1 }, false},
+	}
+	for _, c := range cases {
+		d := RS6K()
+		c.mutate(d)
+		err := d.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: invalid machine accepted", c.name)
+		}
+	}
+}
+
+func TestInvalidPresetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Superscalar(0, 1) did not panic")
+		}
+	}()
+	Superscalar(0, 1)
+}
+
+func TestDegenerateCorners(t *testing.T) {
+	s := Scalar()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Scalar invalid: %v", err)
+	}
+	if s.MaxDelay() != 0 || s.Exec(ir.OpDiv) != 1 {
+		t.Errorf("Scalar not degenerate: maxdelay=%d div=%d", s.MaxDelay(), s.Exec(ir.OpDiv))
+	}
+	w := Wide()
+	if err := w.Validate(); err != nil {
+		t.Fatalf("Wide invalid: %v", err)
+	}
+	for tp, n := range w.NumUnits {
+		if n < 32 {
+			t.Errorf("Wide has only %d units of type %d", n, tp)
+		}
+	}
+	if w.CmpBranchDelay != RS6K().CmpBranchDelay {
+		t.Error("Wide should keep RS6K delays")
+	}
+}
+
+// TestRandomMachines: every seed yields a valid machine, equal seeds
+// yield equal machines, and the generator actually explores the
+// parameter space (several distinct shapes over a small seed range).
+func TestRandomMachines(t *testing.T) {
+	shapes := make(map[string]bool)
+	for seed := int64(0); seed < 64; seed++ {
+		d := Random(seed)
+		if err := d.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		d2 := Random(seed)
+		if *d != *d2 {
+			t.Fatalf("seed %d: not deterministic: %+v vs %+v", seed, d, d2)
+		}
+		shapes[fmt.Sprintf("%v/%d/%d/%d%d%d%d", d.NumUnits, d.MulTime, d.DivTime,
+			d.LoadDelay, d.CmpBranchDelay, d.FloatDelay, d.FloatCmpBranchDelay)] = true
+	}
+	if len(shapes) < 32 {
+		t.Errorf("only %d distinct machines over 64 seeds", len(shapes))
 	}
 }

@@ -60,13 +60,136 @@ type genState struct {
 	inWhile  int  // while-loop nesting depth
 	nwhile   int  // counter for unique while induction variables
 	features Features
+
+	// Size bounds (see Size). New sets the permissive defaults; NewSized
+	// tightens them so the differential tester can ask for programs whose
+	// basic blocks stay small enough for exhaustive-schedule oracles.
+	maxDepth   int  // nesting depth beyond which only simple statements are emitted
+	allowLoops bool // permit for/while loops
+	allowCalls bool // permit helper calls
+}
+
+// Size bounds program generation for NewSized. The zero value is
+// normalised to the smallest useful program; New's defaults correspond
+// to Size{Stmts: 4, Depth: 4, Loops: true, Floats: true, Helper: true,
+// Arrays: 3}.
+type Size struct {
+	// Stmts is the statement budget of the entry function's body.
+	Stmts int
+	// Depth is the maximum statement nesting depth; deeper positions
+	// only emit straight-line statements.
+	Depth int
+	// Loops permits for- and while-loops.
+	Loops bool
+	// Floats permits float locals (and thereby float expressions).
+	Floats bool
+	// Helper emits a helper function and permits calls to it.
+	Helper bool
+	// Arrays is the maximum number of global arrays (at least one is
+	// always emitted so loads and stores appear).
+	Arrays int
+}
+
+// SmallSize is a preset for the differential tester: programs of a
+// handful of statements whose basic blocks usually stay under ten
+// instructions, small enough for exhaustive schedule enumeration.
+func SmallSize() Size {
+	return Size{Stmts: 3, Depth: 2, Loops: true, Arrays: 1}
+}
+
+// NewSized generates a program from the seed under the given size
+// bounds. Like New it is deterministic in the seed; unlike New it keeps
+// programs small and optionally lean (no floats, no calls, no loops) so
+// downstream oracles whose cost is exponential in block size stay
+// feasible.
+func NewSized(seed int64, sz Size) *Program {
+	if sz.Stmts < 1 {
+		sz.Stmts = 1
+	}
+	if sz.Depth < 1 {
+		sz.Depth = 1
+	}
+	if sz.Arrays < 1 {
+		sz.Arrays = 1
+	}
+	if sz.Arrays > 3 {
+		sz.Arrays = 3
+	}
+	g := &genState{
+		r:          rand.New(rand.NewSource(seed)),
+		arrays:     make(map[string]int),
+		maxDepth:   sz.Depth,
+		allowLoops: sz.Loops,
+		allowCalls: sz.Helper,
+	}
+	na := 1 + g.r.Intn(sz.Arrays)
+	for i := 0; i < na; i++ {
+		name := fmt.Sprintf("g%d", i)
+		size := 4 + g.r.Intn(13)
+		g.arrays[name] = size
+		var init []string
+		for k := 0; k < g.r.Intn(4); k++ {
+			init = append(init, fmt.Sprint(g.r.Intn(40)-20))
+		}
+		if len(init) > 0 {
+			fmt.Fprintf(&g.sb, "int %s[%d] = {%s};\n", name, size, strings.Join(init, ", "))
+		} else {
+			fmt.Fprintf(&g.sb, "int %s[%d];\n", name, size)
+		}
+	}
+	if sz.Helper {
+		fmt.Fprintf(&g.sb, "\nint helper(int x, int y) {\n")
+		g.indent = 1
+		g.vars = []string{"x", "y"}
+		g.inHelper = true
+		g.stmt()
+		g.inHelper = false
+		g.line("return x - y;")
+		g.sb.WriteString("}\n")
+	}
+	fmt.Fprintf(&g.sb, "\nint main(int p0, int p1) {\n")
+	g.indent = 1
+	g.vars = []string{"p0", "p1"}
+	g.loopVars = nil
+	name := "v0"
+	g.line(fmt.Sprintf("int %s = %s;", name, g.expr(1)))
+	g.vars = append(g.vars, name)
+	if sz.Floats {
+		g.line(fmt.Sprintf("float f0 = %s;", g.flit()))
+		g.fvars = append(g.fvars, "f0")
+		g.features.Floats = true
+	}
+	for i := 0; i < sz.Stmts; i++ {
+		g.stmt()
+	}
+	ret := g.expr(1)
+	for i := 0; i < len(g.arrays); i++ {
+		an := fmt.Sprintf("g%d", i)
+		ret += fmt.Sprintf(" + %s[%d]", an, g.r.Intn(g.arrays[an]))
+	}
+	for _, f := range g.fvars {
+		ret += " + " + f
+	}
+	g.line("return " + ret + ";")
+	g.sb.WriteString("}\n")
+
+	return &Program{
+		Source:   g.sb.String(),
+		Entry:    "main",
+		Args:     []int64{int64(g.r.Intn(100) - 50), int64(g.r.Intn(100) - 50)},
+		Seed:     seed,
+		Features: g.features,
+	}
 }
 
 // New generates a program from the seed.
 func New(seed int64) *Program {
 	g := &genState{
-		r:      rand.New(rand.NewSource(seed)),
-		arrays: make(map[string]int),
+		r:          rand.New(rand.NewSource(seed)),
+		arrays:     make(map[string]int),
+		maxDepth:   4,
+		allowLoops: true,
+		allowCalls: true,
 	}
 	// Globals: 1-3 arrays and 1-2 scalars.
 	na := 1 + g.r.Intn(3)
@@ -161,8 +284,14 @@ func (g *genState) stmt() {
 	g.depth++
 	defer func() { g.depth-- }()
 	choice := g.r.Intn(13)
-	if g.depth > 4 && choice >= 4 {
+	if g.depth > g.maxDepth && choice >= 4 {
 		choice = g.r.Intn(4) // deep nests only emit simple statements
+	}
+	if !g.allowLoops && (choice == 6 || choice == 7 || choice >= 11) {
+		choice = g.r.Intn(4) // loops disabled: fall back to simple statements
+	}
+	if !g.allowCalls && choice == 9 {
+		choice = 8
 	}
 	switch choice {
 	case 0, 1, 2: // scalar assignment

@@ -210,3 +210,37 @@ func TestDeterministicGeneration(t *testing.T) {
 		}
 	}
 }
+
+// TestSizedGeneration: size-bounded programs are deterministic, honour
+// the loop/call gates, and compile and terminate like full-size ones.
+func TestSizedGeneration(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		sz := SmallSize()
+		sz.Floats = seed%2 == 0
+		sz.Helper = seed%3 == 0
+		p := NewSized(seed, sz)
+		if q := NewSized(seed, sz); q.Source != p.Source {
+			t.Fatalf("seed %d: nondeterministic sized generation", seed)
+		}
+		res, _ := run(t, p, -1, false)
+		if res.Instrs == 0 {
+			t.Errorf("seed %d: empty execution", seed)
+		}
+		if !sz.Loops && strings.Contains(p.Source, "while") {
+			t.Errorf("seed %d: loop generated with Loops=false", seed)
+		}
+		if !sz.Helper && strings.Contains(p.Source, "helper") {
+			t.Errorf("seed %d: helper call generated with Helper=false", seed)
+		}
+	}
+	// The no-loop corner must still produce runnable straight-line code.
+	p := NewSized(11, Size{Stmts: 4, Depth: 2, Arrays: 1})
+	for _, kw := range []string{"while", "for"} {
+		if strings.Contains(p.Source, kw+" ") || strings.Contains(p.Source, kw+"(") {
+			t.Errorf("loopless program contains %q:\n%s", kw, p.Source)
+		}
+	}
+	if res, _ := run(t, p, -1, false); res.Instrs == 0 {
+		t.Error("loopless program: empty execution")
+	}
+}
