@@ -1,0 +1,121 @@
+// Command gschedd is the long-running scheduling daemon: an HTTP/JSON
+// service over the compile/schedule pipeline with a bounded worker
+// pool, a content-addressed response cache, admission control and a
+// /metrics observability endpoint.
+//
+// Usage:
+//
+//	gschedd [flags]
+//
+// Endpoints:
+//
+//	POST /schedule      schedule a mini-C or assembly program
+//	GET  /metrics       Prometheus text metrics
+//	GET  /healthz       liveness probe
+//	GET  /debug/pprof/  Go profiling
+//
+// Example:
+//
+//	gschedd -addr :8421 &
+//	curl -s localhost:8421/schedule -d '{
+//	  "source": "int main(int n) { int s = 0; while (n > 0) { s = s + n; n = n - 1; } return s; }",
+//	  "level": "speculative",
+//	  "simulate": {"entry": "main", "args": [10]}
+//	}'
+//
+// SIGINT/SIGTERM drain gracefully: in-flight schedules finish (up to
+// -drain), new connections are refused.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"gsched/internal/serve"
+)
+
+var (
+	addr       = flag.String("addr", ":8421", "listen address")
+	workers    = flag.Int("workers", runtime.NumCPU(), "concurrent scheduling jobs")
+	queue      = flag.Int("queue", 0, "admitted jobs waiting beyond the workers before 503 (default 2×workers)")
+	cacheMB    = flag.Int64("cache-mb", 64, "response cache size in MiB (negative disables)")
+	timeout    = flag.Duration("timeout", 30*time.Second, "per-request scheduling budget")
+	maxBody    = flag.Int64("max-body", 4<<20, "request body limit in bytes (413 above)")
+	drain      = flag.Duration("drain", 30*time.Second, "graceful shutdown budget for in-flight requests")
+	debugPanic = flag.Bool("debug-panic", false, "honour debug_panic requests (crash drills; never in production)")
+	logJSON    = flag.Bool("log-json", true, "structured JSON request logs on stderr (false: text)")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gschedd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+
+	cacheBytes := *cacheMB << 20
+	if *cacheMB < 0 {
+		cacheBytes = -1
+	}
+	srv := serve.New(serve.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		MaxBodyBytes:    *maxBody,
+		Timeout:         *timeout,
+		CacheBytes:      cacheBytes,
+		AllowDebugPanic: *debugPanic,
+		Logger:          logger,
+	})
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Info("listening", "addr", *addr, "workers", *workers,
+			"cache_mb", *cacheMB, "timeout", timeout.String())
+		errCh <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Info("draining", "budget", drain.String())
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Info("drained")
+	return nil
+}

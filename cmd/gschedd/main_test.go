@@ -1,0 +1,121 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"gsched/internal/serve"
+)
+
+// TestGscheddSmoke builds the real binary, boots it, drives 100 mixed
+// requests (cache hits, misses, an injected timeout, an invalid
+// program, an injected panic), scrapes /metrics, checks that the
+// counters are consistent with the client's view, and verifies a
+// graceful SIGTERM drain. CI runs this as the serve-smoke job.
+func TestGscheddSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping binary smoke test")
+	}
+	bin := filepath.Join(t.TempDir(), "gschedd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	addr := freeAddr(t)
+	cmd := exec.Command(bin, "-addr", addr, "-debug-panic", "-workers", "4", "-queue", "1024")
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	base := "http://" + addr
+	waitHealthy(t, base)
+
+	res, err := serve.MixedLoad(base, 100, 6, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := serve.Scrape(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckCounters(m); err != nil {
+		t.Error(err)
+	}
+	if res.Total != 100 {
+		t.Errorf("drove %d requests, want 100", res.Total)
+	}
+	// No 5xx beyond the injected panic: one 500, zero 503 (the queue
+	// is deep enough for 6-way concurrency).
+	if res.Codes[500] != 1 || res.Codes[503] != 0 {
+		t.Errorf("unexpected 5xx mix: %v", res.Codes)
+	}
+	if res.Codes[400] == 0 || res.Codes[504] == 0 {
+		t.Errorf("injected failures missing from %v", res.Codes)
+	}
+	if hits := m["gschedd_cache_hits_total"]; hits <= 0 {
+		t.Errorf("cache hit ratio is zero (hits %g) on a repeated corpus", hits)
+	}
+	for _, series := range []string{
+		"gschedd_cache_evictions_total", "gschedd_queue_depth",
+		`gschedd_phase_seconds_total{phase="region"}`,
+	} {
+		if _, ok := m[series]; !ok {
+			t.Errorf("metrics missing series %s", series)
+		}
+	}
+
+	// Graceful drain: SIGTERM must exit cleanly (status 0).
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("SIGTERM exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Error("daemon did not drain within 10s of SIGTERM")
+	}
+	cmd.Process = nil
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatal(fmt.Errorf("daemon never became healthy at %s", base))
+}

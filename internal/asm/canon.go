@@ -1,0 +1,55 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"gsched/internal/ir"
+)
+
+// Canonical renders p in a normal form suitable for content-addressed
+// cache keys: two programs are rendered identically iff they are
+// ir.EqualPrograms-equal. Compared to Print it therefore drops
+// everything that carries no program meaning — instruction comments
+// (free-form annotations), instruction IDs (never printed anyway; they
+// are renumbered by the parser), and unlabeled empty blocks (pure
+// fallthrough artifacts that no branch can target and that emit no
+// code). Globals and functions keep their program order, which is
+// significant (it determines layout and lookup order).
+func Canonical(p *ir.Program) string {
+	var sb strings.Builder
+	for _, s := range p.Syms {
+		fmt.Fprintf(&sb, "data %s %d", s.Name, s.Words)
+		if len(s.Init) > 0 {
+			sb.WriteString(" =")
+			for _, v := range s.Init {
+				fmt.Fprintf(&sb, " %d", v)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	for _, f := range p.Funcs {
+		fmt.Fprintf(&sb, "func %s", f.Name)
+		for _, prm := range f.Params {
+			fmt.Fprintf(&sb, " %s", prm)
+		}
+		if f.FrameWords > 0 {
+			fmt.Fprintf(&sb, " frame=%d", f.FrameWords)
+		}
+		sb.WriteString(":\n")
+		for _, b := range f.Blocks {
+			if b.Label == "" && len(b.Instrs) == 0 {
+				continue
+			}
+			if b.Label != "" {
+				fmt.Fprintf(&sb, "%s:\n", b.Label)
+			}
+			for _, i := range b.Instrs {
+				sb.WriteString("\t")
+				sb.WriteString(i.String())
+				sb.WriteString("\n")
+			}
+		}
+	}
+	return sb.String()
+}

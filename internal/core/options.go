@@ -112,6 +112,13 @@ type Options struct {
 	// any check trips. Intended for debugging and property tests; adds
 	// one snapshot plus an O(instructions²) analysis per function.
 	Verify bool
+
+	// Trace, when non-nil, accumulates wall-clock time per scheduling
+	// phase (rename, PDG build, region scheduling, local pass, verify,
+	// loop transforms). It is safe to share one Trace across concurrent
+	// schedules; the serving daemon exports the totals as metrics. Nil
+	// disables timing entirely.
+	Trace *Trace
 }
 
 // VerifyRules maps the scheduling options to the legality rules the

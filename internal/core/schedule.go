@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -15,14 +16,28 @@ import (
 // optional register renaming, global scheduling of every eligible region
 // (innermost first), and the basic block post-pass.
 func ScheduleFunc(f *ir.Func, opts Options) (Stats, error) {
+	return ScheduleFuncCtx(context.Background(), f, opts)
+}
+
+// ScheduleFuncCtx is ScheduleFunc under a context. Cancellation is
+// checked between phases and between regions, so a timed-out schedule
+// returns promptly with an error wrapping ctx.Err(); the function may
+// be left partially scheduled (still legal code — every completed
+// motion is legal on its own — but not the final schedule).
+func ScheduleFuncCtx(ctx context.Context, f *ir.Func, opts Options) (Stats, error) {
 	var st Stats
 	if opts.Machine == nil {
 		return st, fmt.Errorf("core: Options.Machine is required")
 	}
+	if err := ctx.Err(); err != nil {
+		return st, fmt.Errorf("core: schedule cancelled: %w", err)
+	}
 	g := cfg.Build(f)
 
 	if opts.Rename {
+		done := opts.Trace.TimePhase(PhaseRename)
 		st.RenamedWebs = rename.Run(f, g)
+		done()
 	}
 
 	var snap *verify.Snapshot
@@ -33,21 +48,31 @@ func ScheduleFunc(f *ir.Func, opts Options) (Stats, error) {
 	if opts.Level > LevelNone {
 		li := cfg.FindLoops(g)
 		if !li.Irreducible {
-			scheduleRegions(f, g, li, &opts, &st)
+			if err := scheduleRegions(ctx, f, g, li, &opts, &st); err != nil {
+				return st, err
+			}
 		} else {
 			st.RegionsSkipped++
 		}
 	}
 
 	if opts.LocalPass {
+		if err := ctx.Err(); err != nil {
+			return st, fmt.Errorf("core: schedule cancelled: %w", err)
+		}
+		done := opts.Trace.TimePhase(PhaseLocal)
 		for _, b := range f.Blocks {
 			ScheduleBlockLocal(b, opts.Machine)
 			st.LocalBlocks++
 		}
+		done()
 	}
 
 	if opts.Verify {
-		if err := verify.Check(snap, f, opts.VerifyRules()); err != nil {
+		done := opts.Trace.TimePhase(PhaseVerify)
+		err := verify.Check(snap, f, opts.VerifyRules())
+		done()
+		if err != nil {
 			return st, fmt.Errorf("core: illegal schedule: %w", err)
 		}
 	}
@@ -61,12 +86,18 @@ func ScheduleFunc(f *ir.Func, opts Options) (Stats, error) {
 // that function, and per-function Stats are merged in program order
 // after all workers finish.
 func ScheduleProgram(p *ir.Program, opts Options) (Stats, error) {
+	return ScheduleProgramCtx(context.Background(), p, opts)
+}
+
+// ScheduleProgramCtx is ScheduleProgram under a context: per-request
+// timeouts and cancellation propagate into every function's schedule.
+func ScheduleProgramCtx(ctx context.Context, p *ir.Program, opts Options) (Stats, error) {
 	var st Stats
 	if opts.Parallelism > 1 && len(p.Funcs) > 1 {
 		stats := make([]Stats, len(p.Funcs))
 		errs := make([]error, len(p.Funcs))
 		runFuncsParallel(len(p.Funcs), opts.Parallelism, func(i int) {
-			stats[i], errs[i] = ScheduleFunc(p.Funcs[i], opts)
+			stats[i], errs[i] = ScheduleFuncCtx(ctx, p.Funcs[i], opts)
 		})
 		for i, err := range errs {
 			if err != nil {
@@ -77,7 +108,7 @@ func ScheduleProgram(p *ir.Program, opts Options) (Stats, error) {
 		return st, nil
 	}
 	for _, f := range p.Funcs {
-		s, err := ScheduleFunc(f, opts)
+		s, err := ScheduleFuncCtx(ctx, f, opts)
 		if err != nil {
 			return st, fmt.Errorf("%s: %w", f.Name, err)
 		}
@@ -127,10 +158,19 @@ func runFuncsParallel(n, workers int, fn func(i int)) {
 // only "small" regions of at most MaxRegionBlocks blocks and
 // MaxRegionInstrs instructions, only reducible regions). Region heights
 // are computed once up front; recomputing them per node would be
-// quadratic in the nesting depth.
-func scheduleRegions(f *ir.Func, g *cfg.Graph, li *cfg.LoopInfo, opts *Options, st *Stats) {
+// quadratic in the nesting depth. Cancellation is checked before every
+// region; the first trip aborts the walk and surfaces ctx.Err().
+func scheduleRegions(ctx context.Context, f *ir.Func, g *cfg.Graph, li *cfg.LoopInfo, opts *Options, st *Stats) error {
 	heights := cfg.RegionHeights(li.Root)
+	var cancelled error
 	li.Root.Walk(func(r *cfg.Region) {
+		if cancelled != nil {
+			return
+		}
+		if err := ctx.Err(); err != nil {
+			cancelled = fmt.Errorf("core: schedule cancelled: %w", err)
+			return
+		}
 		if heights[r] >= opts.MaxRegionLevels {
 			st.RegionsSkipped++
 			return
@@ -153,13 +193,16 @@ func scheduleRegions(f *ir.Func, g *cfg.Graph, li *cfg.LoopInfo, opts *Options, 
 			st.RegionsSkipped++
 		}
 	})
+	return cancelled
 }
 
 // ScheduleRegion schedules one region with the global framework. It is
 // exported for the loop-rotation driver in package xform, which schedules
 // rotated inner loops a second time.
 func ScheduleRegion(f *ir.Func, g *cfg.Graph, li *cfg.LoopInfo, r *cfg.Region, opts *Options, st *Stats) error {
+	donePDG := opts.Trace.TimePhase(PhasePDG)
 	p, err := pdg.Build(f, g, li, r, opts.Machine)
+	donePDG()
 	if err != nil {
 		return err
 	}
@@ -173,7 +216,9 @@ func ScheduleRegion(f *ir.Func, g *cfg.Graph, li *cfg.LoopInfo, r *cfg.Region, o
 		// live is computed lazily by rs.liveness() at the first
 		// speculative-motion query.
 	}
+	doneRun := opts.Trace.TimePhase(PhaseRegion)
 	rs.run()
+	doneRun()
 	st.RegionsScheduled++
 	return nil
 }

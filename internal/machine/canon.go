@@ -1,0 +1,22 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Canonical renders the semantically meaningful parameters of d as a
+// deterministic single-line string, for use in content-addressed cache
+// keys. The Name is deliberately excluded: two descriptions that differ
+// only in their label schedule every program identically, so they must
+// hash to the same key. Every field that can change a schedule or a
+// simulated cycle count is included.
+func (d *Desc) Canonical() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "units=%d/%d/%d", d.NumUnits[Fixed], d.NumUnits[Float], d.NumUnits[Branch])
+	fmt.Fprintf(&sb, " mul=%d div=%d", d.MulTime, d.DivTime)
+	fmt.Fprintf(&sb, " dload=%d dcmpbr=%d dfloat=%d dfcmpbr=%d",
+		d.LoadDelay, d.CmpBranchDelay, d.FloatDelay, d.FloatCmpBranchDelay)
+	fmt.Fprintf(&sb, " takenonly=%t", d.TakenOnlyBranchDelay)
+	return sb.String()
+}

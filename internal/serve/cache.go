@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Key is a content address: the SHA-256 of the canonicalized request
+// (program × machine × options). Two requests whose inputs are
+// semantically equal — same ir.EqualPrograms-canonical program, same
+// machine parameters, same scheduling options — produce the same Key
+// even if their textual sources differ.
+type Key [32]byte
+
+// Cache is a bounded, LRU-evicting, content-addressed store of finished
+// response bodies. All methods are safe for concurrent use. Eviction is
+// by total body bytes, not entry count: scheduling results vary from a
+// few hundred bytes to hundreds of kilobytes, so a byte cap is the only
+// meaningful memory bound.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	entries  map[Key]*list.Element
+	lru      *list.List // front = most recently used
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type cacheEntry struct {
+	key  Key
+	body []byte
+}
+
+// NewCache returns a cache bounded to maxBytes of stored bodies.
+// maxBytes <= 0 means unbounded.
+func NewCache(maxBytes int64) *Cache {
+	return &Cache{
+		maxBytes: maxBytes,
+		entries:  make(map[Key]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// Get returns the stored body for key, updating the hit/miss counters
+// and the LRU order. The returned slice is shared — callers must not
+// modify it.
+func (c *Cache) Get(key Key) ([]byte, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	if ok {
+		c.lru.MoveToFront(el)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Put stores body under key, evicting least-recently-used entries until
+// the byte cap holds. A body larger than the whole cap is not stored.
+// Storing an existing key refreshes its position but keeps the first
+// body: results are deterministic in the key, so both bodies are
+// identical by construction.
+func (c *Cache) Put(key Key, body []byte) {
+	if c.maxBytes > 0 && int64(len(body)) > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, body: body})
+	c.bytes += int64(len(body))
+	for c.maxBytes > 0 && c.bytes > c.maxBytes {
+		last := c.lru.Back()
+		if last == nil {
+			break
+		}
+		e := last.Value.(*cacheEntry)
+		c.lru.Remove(last)
+		delete(c.entries, e.key)
+		c.bytes -= int64(len(e.body))
+		c.evictions.Add(1)
+	}
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Bytes     int64
+	Entries   int
+}
+
+// Stats snapshots the counters and current size.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	bytes, entries := c.bytes, len(c.entries)
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Bytes:     bytes,
+		Entries:   entries,
+	}
+}

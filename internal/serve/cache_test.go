@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+func mustResolve(t *testing.T, req *Request) *job {
+	t.Helper()
+	j, err := resolve(req, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// Two textually different but ir.EqualPrograms-equal assembly inputs —
+// different comments, a trailing unlabeled empty block — must produce
+// the same content address.
+func TestCacheKeyCanonicalization(t *testing.T) {
+	a := mustResolve(t, &Request{Lang: "asm", Source: `
+func f r1:
+	LI r2=1	; produce the constant
+	A r3=r1,r2
+	RET r3
+`})
+	// Same program: different comment, extra blank lines (the parser
+	// renumbers instruction IDs either way).
+	b := mustResolve(t, &Request{Lang: "asm", Source: `
+func f r1:
+
+	LI r2=1
+	A r3=r1,r2	; a different annotation
+
+	RET r3
+`})
+	if a.key != b.key {
+		t.Error("EqualPrograms-equal inputs produced different cache keys")
+	}
+}
+
+// Differing machine descriptions must miss, and a renamed but otherwise
+// identical machine must hit.
+func TestCacheKeyMachineSensitivity(t *testing.T) {
+	base := &Request{Lang: "asm", Source: "func f r1:\n\tRET r1\n"}
+	k0 := mustResolve(t, base).key
+
+	wide := *base
+	wide.Machine = json.RawMessage(`"4x2"`)
+	if mustResolve(t, &wide).key == k0 {
+		t.Error("different machine produced the same cache key")
+	}
+
+	custom := *base
+	// rs6k's parameters under a different name: semantically the same
+	// machine, so the key must match the default.
+	custom.Machine = json.RawMessage(`{
+		"Name": "my-rs6k", "NumUnits": [1, 1, 1],
+		"MulTime": 5, "DivTime": 19,
+		"LoadDelay": 1, "CmpBranchDelay": 3,
+		"FloatDelay": 1, "FloatCmpBranchDelay": 5
+	}`)
+	if mustResolve(t, &custom).key != k0 {
+		t.Error("renamed-but-identical machine produced a different cache key")
+	}
+}
+
+// Differing semantic options must miss; Parallelism-like knobs that
+// cannot change the schedule are excluded by construction.
+func TestCacheKeyOptionSensitivity(t *testing.T) {
+	base := &Request{Lang: "asm", Source: "func f r1:\n\tRET r1\n"}
+	k0 := mustResolve(t, base).key
+
+	mods := map[string]*Request{
+		"level":    {Lang: "asm", Source: base.Source, Level: "useful"},
+		"verify":   {Lang: "asm", Source: base.Source, Verify: true},
+		"pipeline": {Lang: "asm", Source: base.Source, Pipeline: new(bool)}, // false
+		"rename":   {Lang: "asm", Source: base.Source, Options: &OptionsPatch{Rename: new(bool)}},
+		"dup":      {Lang: "asm", Source: base.Source, Options: &OptionsPatch{Duplicate: boolp(true)}},
+		"simulate": {Lang: "asm", Source: base.Source, Simulate: &SimRequest{Entry: "f", Args: []int64{3}}},
+	}
+	for name, req := range mods {
+		if mustResolve(t, req).key == k0 {
+			t.Errorf("%s: option change produced the same cache key", name)
+		}
+	}
+	// Different simulate args are different results.
+	s1 := mustResolve(t, &Request{Lang: "asm", Source: base.Source, Simulate: &SimRequest{Entry: "f", Args: []int64{3}}})
+	s2 := mustResolve(t, &Request{Lang: "asm", Source: base.Source, Simulate: &SimRequest{Entry: "f", Args: []int64{4}}})
+	if s1.key == s2.key {
+		t.Error("different simulate args produced the same cache key")
+	}
+}
+
+func boolp(b bool) *bool { return &b }
+
+// End to end: two different C spellings that compile to the same IR
+// must share one cache entry (the second request is a hit).
+func TestCacheHitAcrossEquivalentSources(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// Identical token stream, different whitespace and comments: the
+	// mini-C front end emits identical IR for both.
+	r1, _ := post(t, ts, &Request{Source: "int main(int a) { return a + 1; }"})
+	if r1.StatusCode != http.StatusOK || r1.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("first: status %d cache %q", r1.StatusCode, r1.Header.Get("X-Cache"))
+	}
+	r2, _ := post(t, ts, &Request{Source: "int main(int a) {\n\treturn a + 1;   \n}\n"})
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("second: status %d", r2.StatusCode)
+	}
+	if r2.Header.Get("X-Cache") != "hit" {
+		t.Errorf("equivalent source missed the cache (X-Cache %q)", r2.Header.Get("X-Cache"))
+	}
+}

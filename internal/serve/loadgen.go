@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"gsched/internal/progen"
+)
+
+// LoadResult tallies one load-generation run against a server.
+type LoadResult struct {
+	// Total requests sent.
+	Total int
+	// Codes counts responses by HTTP status.
+	Codes map[int]int
+	// HitHeaders / MissHeaders count X-Cache response headers.
+	HitHeaders, MissHeaders int
+	// Mismatches lists determinism violations: repeated requests whose
+	// 200 bodies differed.
+	Mismatches []string
+}
+
+type loadSpec struct {
+	body []byte
+	// class groups identical requests for the determinism check.
+	class string
+}
+
+// MixedLoad drives n mixed requests at the server's /schedule endpoint
+// with the given concurrency: a small corpus of repeated programs
+// (guaranteed cache hits after first contact), a stream of unique
+// programs (guaranteed misses), one deliberately timed-out request, and
+// one malformed program; withPanic adds one debug_panic request (the
+// server must run with AllowDebugPanic). It verifies that repeated
+// requests return byte-identical bodies regardless of interleaving.
+func MixedLoad(baseURL string, n, concurrency int, withPanic bool) (*LoadResult, error) {
+	if n < 8 {
+		n = 8
+	}
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	rng := rand.New(rand.NewSource(1))
+
+	// A fixed corpus of 4 programs absorbs half the load: every
+	// program is requested many times, so hits dominate repeats.
+	var corpus []loadSpec
+	for i := 0; i < 4; i++ {
+		src := progen.New(int64(100 + i)).Source
+		body, err := json.Marshal(&Request{Source: src})
+		if err != nil {
+			return nil, err
+		}
+		corpus = append(corpus, loadSpec{body: body, class: fmt.Sprintf("corpus%d", i)})
+	}
+
+	var specs []loadSpec
+	for len(specs) < n-3 {
+		if rng.Intn(2) == 0 || len(specs) < len(corpus) {
+			specs = append(specs, corpus[rng.Intn(len(corpus))])
+		} else {
+			// A unique program: first and only visit, a guaranteed miss.
+			src := progen.New(int64(1000 + len(specs))).Source
+			body, err := json.Marshal(&Request{Source: src})
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, loadSpec{body: body, class: fmt.Sprintf("unique%d", len(specs))})
+		}
+	}
+	// One request with a budget no schedule can meet (1ns): always 504.
+	tbody, err := json.Marshal(&Request{Source: progen.New(7777).Source, TimeoutMs: 0.000001})
+	if err != nil {
+		return nil, err
+	}
+	specs = append(specs, loadSpec{body: tbody, class: "timeout"})
+	// One malformed program: always 400 with a parse diagnostic.
+	specs = append(specs, loadSpec{body: []byte(`{"source":"int main( {"}`), class: "invalid"})
+	if withPanic {
+		pbody, err := json.Marshal(&Request{Source: progen.New(8888).Source, DebugPanic: true})
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, loadSpec{body: pbody, class: "panic"})
+	}
+	rng.Shuffle(len(specs), func(i, k int) { specs[i], specs[k] = specs[k], specs[i] })
+
+	res := &LoadResult{Codes: make(map[int]int)}
+	bodies := make(map[string][]byte) // class -> first 200 body
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	work := make(chan loadSpec)
+	errCh := make(chan error, concurrency)
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for spec := range work {
+				code, cache, body, err := postSchedule(baseURL, spec.body)
+				if err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					continue
+				}
+				mu.Lock()
+				res.Total++
+				res.Codes[code]++
+				switch cache {
+				case "hit":
+					res.HitHeaders++
+				case "miss":
+					res.MissHeaders++
+				}
+				if code == http.StatusOK {
+					if prev, ok := bodies[spec.class]; !ok {
+						bodies[spec.class] = body
+					} else if !bytes.Equal(prev, body) {
+						res.Mismatches = append(res.Mismatches,
+							fmt.Sprintf("%s: response bodies differ across repeats", spec.class))
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, spec := range specs {
+		work <- spec
+	}
+	close(work)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return res, err
+	default:
+	}
+	return res, nil
+}
+
+func postSchedule(baseURL string, body []byte) (code int, cache string, respBody []byte, err error) {
+	resp, err := http.Post(baseURL+"/schedule", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, "", nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	return resp.StatusCode, resp.Header.Get("X-Cache"), b, nil
+}
+
+// Scrape fetches a /metrics endpoint and parses the Prometheus text
+// format into a map of "name{labels}" (exactly as printed) to value.
+func Scrape(url string) (map[string]float64, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics: status %d", resp.StatusCode)
+	}
+	return ParseMetrics(resp.Body)
+}
+
+// ParseMetrics parses Prometheus text exposition into series -> value.
+func ParseMetrics(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: bad value in %q", line)
+		}
+		out[line[:sp]] = v
+	}
+	return out, sc.Err()
+}
+
+// CheckCounters validates the scraped metrics of a freshly booted
+// server against this run's tallies:
+//
+//   - every request that reached the cache (200, 504, 500, 422) is
+//     counted exactly once as a hit or a miss;
+//   - the hit counter equals the X-Cache: hit headers handed out;
+//   - /schedule request counts by code match the client's view;
+//   - repeated requests returned byte-identical bodies.
+func (r *LoadResult) CheckCounters(m map[string]float64) error {
+	if len(r.Mismatches) > 0 {
+		return fmt.Errorf("non-deterministic responses: %s", strings.Join(r.Mismatches, "; "))
+	}
+	hits := m["gschedd_cache_hits_total"]
+	misses := m["gschedd_cache_misses_total"]
+	lookups := r.Codes[200] + r.Codes[504] + r.Codes[500] + r.Codes[422]
+	if int(hits+misses) != lookups {
+		return fmt.Errorf("cache hits (%g) + misses (%g) = %g, want %d lookups (codes %v)",
+			hits, misses, hits+misses, lookups, r.Codes)
+	}
+	if int(hits) != r.HitHeaders {
+		return fmt.Errorf("cache hits %g but %d X-Cache: hit headers", hits, r.HitHeaders)
+	}
+	for code, n := range r.Codes {
+		series := fmt.Sprintf(`gschedd_requests_total{endpoint="/schedule",code="%d"}`, code)
+		if int(m[series]) != n {
+			return fmt.Errorf("%s = %g, client saw %d", series, m[series], n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"gsched/internal/core"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds. They span
+// sub-millisecond cache hits through multi-second pipeline runs.
+var latencyBuckets = [...]float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// numBuckets counts the finite buckets plus the +Inf overflow bucket.
+const numBuckets = len(latencyBuckets) + 1
+
+// histogram is a fixed-bucket latency histogram. It is guarded by the
+// owning Metrics mutex.
+type histogram struct {
+	counts [numBuckets]int64 // last bucket = +Inf
+	sum    float64
+	total  int64
+}
+
+func (h *histogram) observe(seconds float64) {
+	i := sort.SearchFloat64s(latencyBuckets[:], seconds)
+	h.counts[i]++
+	h.sum += seconds
+	h.total++
+}
+
+// Metrics accumulates the serving counters and renders them in the
+// Prometheus text exposition format. All methods are safe for
+// concurrent use.
+type Metrics struct {
+	mu        sync.Mutex
+	requests  map[string]map[int]int64 // endpoint -> status code -> count
+	latencies map[string]*histogram    // endpoint -> latency histogram
+
+	// Gauges are sampled at scrape time from the live server state.
+	queueDepth func() int64
+	inflight   func() int64
+
+	cache *Cache
+	trace *core.Trace
+}
+
+// NewMetrics returns an empty registry. cache and trace may be nil;
+// queueDepth and inflight may be nil for servers without a pool.
+func NewMetrics(cache *Cache, trace *core.Trace, queueDepth, inflight func() int64) *Metrics {
+	return &Metrics{
+		requests:   make(map[string]map[int]int64),
+		latencies:  make(map[string]*histogram),
+		cache:      cache,
+		trace:      trace,
+		queueDepth: queueDepth,
+		inflight:   inflight,
+	}
+}
+
+// ObserveRequest records one finished request against an endpoint.
+func (m *Metrics) ObserveRequest(endpoint string, code int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byCode := m.requests[endpoint]
+	if byCode == nil {
+		byCode = make(map[int]int64)
+		m.requests[endpoint] = byCode
+	}
+	byCode[code]++
+	h := m.latencies[endpoint]
+	if h == nil {
+		h = &histogram{}
+		m.latencies[endpoint] = h
+	}
+	h.observe(d.Seconds())
+}
+
+// WriteTo renders every metric in Prometheus text format. Series are
+// sorted, so the output is deterministic for a given state.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	m.mu.Lock()
+	endpoints := make([]string, 0, len(m.requests))
+	for ep := range m.requests {
+		endpoints = append(endpoints, ep)
+	}
+	sort.Strings(endpoints)
+
+	fmt.Fprintf(cw, "# HELP gschedd_requests_total Finished HTTP requests by endpoint and status code.\n")
+	fmt.Fprintf(cw, "# TYPE gschedd_requests_total counter\n")
+	for _, ep := range endpoints {
+		codes := make([]int, 0, len(m.requests[ep]))
+		for c := range m.requests[ep] {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(cw, "gschedd_requests_total{endpoint=%q,code=\"%d\"} %d\n", ep, c, m.requests[ep][c])
+		}
+	}
+
+	fmt.Fprintf(cw, "# HELP gschedd_request_seconds Request latency by endpoint.\n")
+	fmt.Fprintf(cw, "# TYPE gschedd_request_seconds histogram\n")
+	for _, ep := range endpoints {
+		h := m.latencies[ep]
+		if h == nil {
+			continue
+		}
+		cum := int64(0)
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(cw, "gschedd_request_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				ep, strconv.FormatFloat(ub, 'g', -1, 64), cum)
+		}
+		cum += h.counts[len(latencyBuckets)]
+		fmt.Fprintf(cw, "gschedd_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, cum)
+		fmt.Fprintf(cw, "gschedd_request_seconds_sum{endpoint=%q} %g\n", ep, h.sum)
+		fmt.Fprintf(cw, "gschedd_request_seconds_count{endpoint=%q} %d\n", ep, h.total)
+	}
+	m.mu.Unlock()
+
+	if m.cache != nil {
+		cs := m.cache.Stats()
+		fmt.Fprintf(cw, "# HELP gschedd_cache_hits_total Schedule cache hits.\n# TYPE gschedd_cache_hits_total counter\n")
+		fmt.Fprintf(cw, "gschedd_cache_hits_total %d\n", cs.Hits)
+		fmt.Fprintf(cw, "# HELP gschedd_cache_misses_total Schedule cache misses.\n# TYPE gschedd_cache_misses_total counter\n")
+		fmt.Fprintf(cw, "gschedd_cache_misses_total %d\n", cs.Misses)
+		fmt.Fprintf(cw, "# HELP gschedd_cache_evictions_total Schedule cache LRU evictions.\n# TYPE gschedd_cache_evictions_total counter\n")
+		fmt.Fprintf(cw, "gschedd_cache_evictions_total %d\n", cs.Evictions)
+		fmt.Fprintf(cw, "# HELP gschedd_cache_bytes Bytes of cached response bodies.\n# TYPE gschedd_cache_bytes gauge\n")
+		fmt.Fprintf(cw, "gschedd_cache_bytes %d\n", cs.Bytes)
+		fmt.Fprintf(cw, "# HELP gschedd_cache_entries Cached responses.\n# TYPE gschedd_cache_entries gauge\n")
+		fmt.Fprintf(cw, "gschedd_cache_entries %d\n", cs.Entries)
+	}
+
+	if m.queueDepth != nil {
+		fmt.Fprintf(cw, "# HELP gschedd_queue_depth Requests admitted but waiting for a worker.\n# TYPE gschedd_queue_depth gauge\n")
+		fmt.Fprintf(cw, "gschedd_queue_depth %d\n", m.queueDepth())
+	}
+	if m.inflight != nil {
+		fmt.Fprintf(cw, "# HELP gschedd_inflight Requests currently scheduling.\n# TYPE gschedd_inflight gauge\n")
+		fmt.Fprintf(cw, "gschedd_inflight %d\n", m.inflight())
+	}
+
+	if m.trace != nil {
+		fmt.Fprintf(cw, "# HELP gschedd_phase_seconds_total Cumulative scheduling time by pipeline phase.\n# TYPE gschedd_phase_seconds_total counter\n")
+		for p := core.Phase(0); p < core.NumPhases; p++ {
+			total, _ := m.trace.PhaseTotal(p)
+			fmt.Fprintf(cw, "gschedd_phase_seconds_total{phase=%q} %g\n", p.String(), total.Seconds())
+		}
+		fmt.Fprintf(cw, "# HELP gschedd_phase_runs_total Cumulative phase executions.\n# TYPE gschedd_phase_runs_total counter\n")
+		for p := core.Phase(0); p < core.NumPhases; p++ {
+			_, runs := m.trace.PhaseTotal(p)
+			fmt.Fprintf(cw, "gschedd_phase_runs_total{phase=%q} %d\n", p.String(), runs)
+		}
+	}
+	return cw.n, cw.err
+}
+
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}

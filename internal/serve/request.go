@@ -1,0 +1,272 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"gsched/internal/asm"
+	"gsched/internal/core"
+	"gsched/internal/ir"
+	"gsched/internal/machine"
+	"gsched/internal/minic"
+	"gsched/internal/xform"
+)
+
+// Request is the JSON body of POST /schedule.
+type Request struct {
+	// Lang is "c" (mini-C, the default) or "asm".
+	Lang string `json:"lang,omitempty"`
+	// Source is the program text.
+	Source string `json:"source"`
+	// Machine is either a preset name string ("rs6k", "scalar", "wide",
+	// or "NxM" for N fixed and M branch units) or a full machine.Desc
+	// object. Empty means rs6k.
+	Machine json.RawMessage `json:"machine,omitempty"`
+	// Level is "none", "useful" or "speculative" (the default).
+	Level string `json:"level,omitempty"`
+	// Pipeline selects the full §6 unroll/rotate pipeline (default
+	// true); false runs plain renaming + global scheduling + post-pass.
+	Pipeline *bool `json:"pipeline,omitempty"`
+	// Verify re-checks the schedule with the independent legality
+	// verifier; an illegal schedule turns into a 422.
+	Verify bool `json:"verify,omitempty"`
+	// Options overrides individual scheduling options.
+	Options *OptionsPatch `json:"options,omitempty"`
+	// Simulate, when set, also runs the scheduled program on the
+	// simulated machine and returns cycles/result.
+	Simulate *SimRequest `json:"simulate,omitempty"`
+	// TimeoutMs overrides the server's per-request scheduling budget
+	// when positive. Fractional values are honoured (0.5 = 500µs).
+	TimeoutMs float64 `json:"timeout_ms,omitempty"`
+	// DebugPanic makes the worker panic mid-request, exercising the
+	// panic-to-500 recovery path. Honoured only when the server was
+	// started with the debug-panic flag; ignored otherwise.
+	DebugPanic bool `json:"debug_panic,omitempty"`
+}
+
+// OptionsPatch overrides individual fields of the level's default
+// core.Options. Nil fields keep the default.
+type OptionsPatch struct {
+	Rename          *bool    `json:"rename,omitempty"`
+	LocalPass       *bool    `json:"local_pass,omitempty"`
+	SpecDegree      *int     `json:"spec_degree,omitempty"`
+	MinSpecProb     *float64 `json:"min_spec_prob,omitempty"`
+	Duplicate       *bool    `json:"duplicate,omitempty"`
+	SpeculateLoads  *bool    `json:"speculate_loads,omitempty"`
+	MaxRegionBlocks *int     `json:"max_region_blocks,omitempty"`
+	MaxRegionInstrs *int     `json:"max_region_instrs,omitempty"`
+	MaxRegionLevels *int     `json:"max_region_levels,omitempty"`
+}
+
+// SimRequest asks for a simulated run of the scheduled program.
+type SimRequest struct {
+	Entry string  `json:"entry"`
+	Args  []int64 `json:"args,omitempty"`
+}
+
+// Response is the JSON body of a successful /schedule reply. Identical
+// requests produce byte-identical bodies, whether computed or served
+// from the cache (the X-Cache header tells them apart).
+type Response struct {
+	// Asm is the scheduled program in parseable assembly.
+	Asm string `json:"asm"`
+	// Stats reports what the scheduler did.
+	Stats xform.Stats `json:"stats"`
+	// Sim is present when the request asked for simulation.
+	Sim *SimResponse `json:"sim,omitempty"`
+}
+
+// SimResponse reports a simulated run.
+type SimResponse struct {
+	Ret     int64   `json:"ret"`
+	Cycles  int64   `json:"cycles"`
+	Instrs  int64   `json:"instrs"`
+	Printed []int64 `json:"printed,omitempty"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// job is a fully resolved request: parsed program, machine, options.
+type job struct {
+	prog     *ir.Program
+	mach     *machine.Desc
+	opts     core.Options
+	pipeline bool
+	simulate *SimRequest
+	key      Key
+	timeout  time.Duration // 0 = server default
+	panicd   bool          // debug-panic requested and allowed
+}
+
+// badRequest is a client error with an HTTP-facing diagnostic.
+type badRequest struct{ msg string }
+
+func (e *badRequest) Error() string { return e.msg }
+
+func badf(format string, args ...any) error {
+	return &badRequest{msg: fmt.Sprintf(format, args...)}
+}
+
+// resolve parses and validates a request into a runnable job, computing
+// its content-address from the canonicalized program, machine and
+// options. Canonicalization happens on the freshly parsed (unscheduled)
+// program, so any two sources that compile to EqualPrograms-equal IR
+// share a cache entry.
+func resolve(req *Request, allowPanic bool) (*job, error) {
+	if strings.TrimSpace(req.Source) == "" {
+		return nil, badf("empty source")
+	}
+	j := &job{pipeline: true, simulate: req.Simulate}
+
+	lang := req.Lang
+	if lang == "" {
+		lang = "c"
+	}
+	var err error
+	switch lang {
+	case "c":
+		j.prog, err = minic.Compile(req.Source)
+	case "asm":
+		j.prog, err = asm.Parse(req.Source)
+	default:
+		return nil, badf("unknown lang %q (want c or asm)", lang)
+	}
+	if err != nil {
+		return nil, badf("parse: %v", err)
+	}
+
+	j.mach, err = resolveMachine(req.Machine)
+	if err != nil {
+		return nil, err
+	}
+
+	level := req.Level
+	if level == "" {
+		level = "speculative"
+	}
+	var lv core.Level
+	switch level {
+	case "none":
+		lv = core.LevelNone
+	case "useful":
+		lv = core.LevelUseful
+	case "speculative":
+		lv = core.LevelSpeculative
+	default:
+		return nil, badf("unknown level %q (want none, useful or speculative)", level)
+	}
+
+	j.opts = core.Defaults(j.mach, lv)
+	j.opts.Verify = req.Verify
+	j.opts.Parallelism = 1 // concurrency comes from the worker pool
+	if p := req.Options; p != nil {
+		setIf(&j.opts.Rename, p.Rename)
+		setIf(&j.opts.LocalPass, p.LocalPass)
+		setIf(&j.opts.SpecDegree, p.SpecDegree)
+		setIf(&j.opts.MinSpecProb, p.MinSpecProb)
+		setIf(&j.opts.Duplicate, p.Duplicate)
+		setIf(&j.opts.SpeculateLoads, p.SpeculateLoads)
+		setIf(&j.opts.MaxRegionBlocks, p.MaxRegionBlocks)
+		setIf(&j.opts.MaxRegionInstrs, p.MaxRegionInstrs)
+		setIf(&j.opts.MaxRegionLevels, p.MaxRegionLevels)
+	}
+	if req.Pipeline != nil {
+		j.pipeline = *req.Pipeline
+	}
+	if req.TimeoutMs > 0 {
+		j.timeout = time.Duration(req.TimeoutMs * float64(time.Millisecond))
+		if j.timeout <= 0 {
+			j.timeout = time.Nanosecond
+		}
+	}
+	j.panicd = req.DebugPanic && allowPanic
+	j.key = contentKey(j)
+	return j, nil
+}
+
+func setIf[T any](dst *T, src *T) {
+	if src != nil {
+		*dst = *src
+	}
+}
+
+// resolveMachine accepts a preset name (JSON string) or a full Desc
+// (JSON object); empty means rs6k.
+func resolveMachine(raw json.RawMessage) (*machine.Desc, error) {
+	if len(raw) == 0 {
+		return machine.RS6K(), nil
+	}
+	var name string
+	if err := json.Unmarshal(raw, &name); err == nil {
+		return machineByName(name)
+	}
+	var d machine.Desc
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return nil, badf("machine: %v", err)
+	}
+	if d.Name == "" {
+		d.Name = "custom"
+	}
+	if err := d.Validate(); err != nil {
+		return nil, badf("machine: %v", err)
+	}
+	return &d, nil
+}
+
+func machineByName(name string) (*machine.Desc, error) {
+	switch name {
+	case "", "rs6k":
+		return machine.RS6K(), nil
+	case "scalar":
+		return machine.Scalar(), nil
+	case "wide":
+		return machine.Wide(), nil
+	}
+	if nf, nb, ok := strings.Cut(name, "x"); ok {
+		f, err1 := strconv.Atoi(nf)
+		b, err2 := strconv.Atoi(nb)
+		if err1 == nil && err2 == nil && f > 0 && b > 0 {
+			return machine.Superscalar(f, b), nil
+		}
+	}
+	return nil, badf("unknown machine %q (want rs6k, scalar, wide, NxM, or a machine object)", name)
+}
+
+// contentKey hashes everything that can change the response body:
+// the canonical program, the canonical machine, and the semantic
+// scheduling options. Parallelism is deliberately excluded (schedules
+// are pinned identical at every setting); the Verify flag is included
+// because it changes which requests fail.
+func contentKey(j *job) Key {
+	h := sha256.New()
+	h.Write([]byte(asm.Canonical(j.prog)))
+	h.Write([]byte{0})
+	h.Write([]byte(j.mach.Canonical()))
+	h.Write([]byte{0})
+	h.Write([]byte(canonOptions(&j.opts, j.pipeline)))
+	if j.simulate != nil {
+		fmt.Fprintf(h, "\x00sim=%s%v", j.simulate.Entry, j.simulate.Args)
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// canonOptions renders the semantic scheduling options
+// deterministically. Trace, Profile and Parallelism are excluded: none
+// of them can change the emitted schedule.
+func canonOptions(o *core.Options, pipeline bool) string {
+	return fmt.Sprintf(
+		"level=%s local=%t rename=%t spec=%d minprob=%g dup=%t loads=%t rb=%d ri=%d rl=%d verify=%t pipeline=%t",
+		o.Level, o.LocalPass, o.Rename, o.SpecDegree, o.MinSpecProb,
+		o.Duplicate, o.SpeculateLoads,
+		o.MaxRegionBlocks, o.MaxRegionInstrs, o.MaxRegionLevels,
+		o.Verify, pipeline)
+}

@@ -1,0 +1,376 @@
+// Package serve implements gschedd, the long-running scheduling
+// service: an HTTP/JSON front end over the compile/schedule pipeline
+// with a bounded worker pool, a content-addressed response cache,
+// admission control, per-request timeouts, panic recovery with
+// difftest-style reproducers, and a Prometheus-text observability
+// layer.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"gsched/internal/asm"
+	"gsched/internal/core"
+	"gsched/internal/sim"
+	"gsched/internal/xform"
+)
+
+// Config parameterizes a Server. The zero value is usable: every field
+// falls back to the documented default.
+type Config struct {
+	// Workers bounds concurrent scheduling jobs (default NumCPU).
+	Workers int
+	// QueueDepth bounds jobs admitted beyond the running workers and
+	// waiting for a slot; past Workers+QueueDepth the server answers
+	// 503 with Retry-After (default 2×Workers).
+	QueueDepth int
+	// MaxBodyBytes rejects larger request bodies with 413 (default 4 MiB).
+	MaxBodyBytes int64
+	// Timeout is the per-request scheduling budget, enforced by context
+	// cancellation threaded into the pipeline; expiry answers 504
+	// (default 30s). Requests may lower it via timeout_ms.
+	Timeout time.Duration
+	// CacheBytes caps the content-addressed response cache (default
+	// 64 MiB; negative disables caching entirely).
+	CacheBytes int64
+	// AllowDebugPanic honours the debug_panic request field, which
+	// crashes the worker to exercise the panic-to-500 recovery path.
+	// For tests and smoke drills only.
+	AllowDebugPanic bool
+	// Logger receives structured request and error logs (default: a
+	// text logger discarding below Info). Use slog.New(slog.DiscardHandler)
+	// to silence.
+	Logger *slog.Logger
+}
+
+func (c *Config) defaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 4 << 20
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+}
+
+// Server is the scheduling service. Create with New, mount with
+// Handler; the handler is safe for concurrent use and drains cleanly
+// under http.Server.Shutdown (in-flight schedules finish).
+type Server struct {
+	cfg     Config
+	cache   *Cache // nil when caching is disabled
+	trace   *core.Trace
+	metrics *Metrics
+	mux     *http.ServeMux
+
+	sem      chan struct{} // worker slots
+	queued   atomic.Int64  // admitted, waiting or running
+	inflight atomic.Int64  // actively scheduling
+
+	// testHook, when non-nil, runs in the worker after a slot is
+	// acquired and before scheduling. Tests use it to hold workers
+	// busy deterministically.
+	testHook func()
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg.defaults()
+	s := &Server{
+		cfg:   cfg,
+		trace: &core.Trace{},
+		sem:   make(chan struct{}, cfg.Workers),
+	}
+	if cfg.CacheBytes > 0 {
+		s.cache = NewCache(cfg.CacheBytes)
+	}
+	s.metrics = NewMetrics(s.cache, s.trace,
+		func() int64 { return max(0, s.queued.Load()-s.inflight.Load()) },
+		func() int64 { return s.inflight.Load() })
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/schedule", s.handleSchedule)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the root handler: /schedule, /metrics, /healthz and
+// /debug/pprof.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the registry (for embedding servers).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Trace exposes the shared phase-timing trace.
+func (s *Server) Trace() *core.Trace { return s.trace }
+
+// CacheStats snapshots the response cache counters (zero when caching
+// is disabled).
+func (s *Server) CacheStats() CacheStats {
+	if s.cache == nil {
+		return CacheStats{}
+	}
+	return s.cache.Stats()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteTo(w)
+}
+
+// handleSchedule is the request path: limit → parse → resolve → cache
+// lookup → admission → schedule (with timeout and panic recovery) →
+// simulate → respond + store.
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodPost {
+		s.finish(w, r, start, http.StatusMethodNotAllowed, "",
+			errorBody("POST only"), "method not allowed")
+		return
+	}
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.finish(w, r, start, http.StatusRequestEntityTooLarge, "",
+				errorBody(fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes)), err.Error())
+			return
+		}
+		s.finish(w, r, start, http.StatusBadRequest, "", errorBody("read: "+err.Error()), err.Error())
+		return
+	}
+	var req Request
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.finish(w, r, start, http.StatusBadRequest, "", errorBody("json: "+err.Error()), err.Error())
+		return
+	}
+	j, err := resolve(&req, s.cfg.AllowDebugPanic)
+	if err != nil {
+		s.finish(w, r, start, http.StatusBadRequest, "", errorBody(err.Error()), err.Error())
+		return
+	}
+	j.opts.Trace = s.trace
+
+	// Content-addressed lookup. Hits bypass the pool entirely: they
+	// cost one hash and one map probe, no admission needed.
+	if s.cache != nil {
+		if cached, ok := s.cache.Get(j.key); ok {
+			s.finish(w, r, start, http.StatusOK, "hit", cached, "")
+			return
+		}
+	}
+
+	// Admission: bound the number of requests that may hold or wait
+	// for a worker slot; everything beyond answers 503 immediately so
+	// overload sheds instead of piling up.
+	if s.queued.Add(1) > int64(s.cfg.Workers+s.cfg.QueueDepth) {
+		s.queued.Add(-1)
+		w.Header().Set("Retry-After", "1")
+		s.finish(w, r, start, http.StatusServiceUnavailable, "",
+			errorBody("server saturated"), "saturated")
+		return
+	}
+	defer s.queued.Add(-1)
+
+	timeout := s.cfg.Timeout
+	if j.timeout > 0 && j.timeout < timeout {
+		timeout = j.timeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.finish(w, r, start, http.StatusGatewayTimeout, "",
+			errorBody("timed out waiting for a worker"), ctx.Err().Error())
+		return
+	}
+	s.inflight.Add(1)
+	resp, err := s.runJob(ctx, j)
+	s.inflight.Add(-1)
+	<-s.sem
+
+	switch {
+	case err == nil:
+		if s.cache != nil {
+			s.cache.Put(j.key, resp)
+		}
+		s.finish(w, r, start, http.StatusOK, "miss", resp, "")
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.finish(w, r, start, http.StatusGatewayTimeout, "",
+			errorBody("scheduling exceeded the request budget"), err.Error())
+	case isPanic(err):
+		s.finish(w, r, start, http.StatusInternalServerError, "",
+			errorBody("internal error (reproducer logged)"), err.Error())
+	default:
+		// Schedule- or simulation-time failures on well-formed input:
+		// verifier rejections, simulator faults. Client-visible, not a
+		// crash, so 422 keeps 5xx meaning "server bug".
+		s.finish(w, r, start, http.StatusUnprocessableEntity, "",
+			errorBody(err.Error()), err.Error())
+	}
+}
+
+// panicError marks a recovered worker panic.
+type panicError struct {
+	val   any
+	stack []byte
+}
+
+func (e *panicError) Error() string { return fmt.Sprintf("panic: %v", e.val) }
+
+func isPanic(err error) bool {
+	var pe *panicError
+	return errors.As(err, &pe)
+}
+
+// runJob executes one resolved job under ctx, converting worker panics
+// into errors after logging a difftest-style reproducer (the canonical
+// input assembly plus machine and options, enough to replay the crash
+// offline with gsched).
+func (s *Server) runJob(ctx context.Context, j *job) (body []byte, err error) {
+	// The reproducer must capture the input, not the half-scheduled
+	// wreckage, so canonicalize before scheduling mutates the program.
+	input := asm.Canonical(j.prog)
+	defer func() {
+		if v := recover(); v != nil {
+			pe := &panicError{val: v, stack: debug.Stack()}
+			s.cfg.Logger.Error("worker panic",
+				"panic", fmt.Sprint(v),
+				"repro", reproducer(input, j, fmt.Sprint(v)),
+				"stack", string(pe.stack))
+			err = pe
+		}
+	}()
+	if s.testHook != nil {
+		s.testHook()
+	}
+	if j.panicd {
+		panic("debug_panic requested")
+	}
+
+	var st xform.Stats
+	if j.pipeline {
+		st, err = xform.RunProgramCtx(ctx, j.prog, j.opts, xform.DefaultConfig())
+	} else {
+		st.Stats, err = core.ScheduleProgramCtx(ctx, j.prog, j.opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	resp := &Response{Asm: asm.Print(j.prog), Stats: st}
+	if j.simulate != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		m, err := sim.Load(j.prog)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		res, err := m.Run(j.simulate.Entry, j.simulate.Args, nil, sim.Options{
+			Machine:        j.mach,
+			ForgivingLoads: j.opts.Level >= core.LevelSpeculative,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		resp.Sim = &SimResponse{
+			Ret:     res.Ret,
+			Cycles:  res.Cycles,
+			Instrs:  res.Instrs,
+			Printed: res.Printed,
+		}
+	}
+	return json.Marshal(resp)
+}
+
+// reproducer renders a difftest-style reproducer block: a comment
+// header naming the machine and options, then the canonical input
+// assembly. Feeding the block to gsched (or cmd/difftest) replays the
+// failing schedule.
+func reproducer(input string, j *job, msg string) string {
+	var b strings.Builder
+	b.WriteString("; gschedd panic reproducer\n")
+	fmt.Fprintf(&b, "; machine: %s | %s\n", j.mach.Name, j.mach.Canonical())
+	fmt.Fprintf(&b, "; options: %s\n", canonOptions(&j.opts, j.pipeline))
+	for _, line := range strings.Split(msg, "\n") {
+		fmt.Fprintf(&b, ";   %s\n", line)
+	}
+	b.WriteString(input)
+	return b.String()
+}
+
+// finish writes one response and records it in the metrics and the
+// structured log. cacheState is "hit", "miss" or "" (no lookup).
+func (s *Server) finish(w http.ResponseWriter, r *http.Request, start time.Time,
+	code int, cacheState string, body []byte, errMsg string) {
+
+	if cacheState != "" {
+		w.Header().Set("X-Cache", cacheState)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(body)
+
+	d := time.Since(start)
+	s.metrics.ObserveRequest(r.URL.Path, code, d)
+	attrs := []any{
+		"method", r.Method,
+		"path", r.URL.Path,
+		"code", code,
+		"dur_ms", float64(d.Microseconds()) / 1000,
+		"bytes", len(body),
+	}
+	if cacheState != "" {
+		attrs = append(attrs, "cache", cacheState)
+	}
+	if errMsg != "" {
+		attrs = append(attrs, "err", errMsg)
+	}
+	if code >= 500 {
+		s.cfg.Logger.Error("request", attrs...)
+	} else {
+		s.cfg.Logger.Info("request", attrs...)
+	}
+}
+
+func errorBody(msg string) []byte {
+	b, _ := json.Marshal(&ErrorResponse{Error: msg})
+	return b
+}

@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"gsched/internal/progen"
+)
+
+// Soak: many goroutines hammer the server with a shuffled progen
+// corpus. Every response must be 200 and byte-identical across repeats
+// of the same program, regardless of interleaving; the cache must see
+// both hits and misses. Run under -race in CI, this also pins the
+// server and scheduler free of data races.
+func TestSoakConcurrentDeterministic(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 1024})
+
+	const goroutines = 8
+	const corpusSize = 6
+	const perG = 18
+
+	corpus := make([][]byte, corpusSize)
+	for i := range corpus {
+		body, err := json.Marshal(&Request{Source: progen.New(int64(i)).Source})
+		if err != nil {
+			t.Fatal(err)
+		}
+		corpus[i] = body
+	}
+
+	var mu sync.Mutex
+	bodies := make(map[int][]byte)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < perG; k++ {
+				idx := (g + k) % corpusSize
+				resp, err := http.Post(ts.URL+"/schedule", "application/json", bytes.NewReader(corpus[idx]))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				b, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("goroutine %d: status %d: %s", g, resp.StatusCode, b)
+					return
+				}
+				mu.Lock()
+				if prev, ok := bodies[idx]; !ok {
+					bodies[idx] = b
+				} else if !bytes.Equal(prev, b) {
+					t.Errorf("program %d: response changed across interleavings", idx)
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st, _ := func() (CacheStats, int) { return tsStats(ts) }()
+	if st.Hits == 0 {
+		t.Error("soak saw no cache hits")
+	}
+	if st.Misses == 0 {
+		t.Error("soak saw no cache misses")
+	}
+	if st.Hits+st.Misses != goroutines*perG {
+		t.Errorf("hits %d + misses %d != %d requests", st.Hits, st.Misses, goroutines*perG)
+	}
+}
+
+// tsStats scrapes the cache counters from the test server's /metrics.
+func tsStats(ts *httptest.Server) (CacheStats, int) {
+	m, err := Scrape(ts.URL + "/metrics")
+	if err != nil {
+		return CacheStats{}, 0
+	}
+	return CacheStats{
+		Hits:      int64(m["gschedd_cache_hits_total"]),
+		Misses:    int64(m["gschedd_cache_misses_total"]),
+		Evictions: int64(m["gschedd_cache_evictions_total"]),
+		Bytes:     int64(m["gschedd_cache_bytes"]),
+		Entries:   int(m["gschedd_cache_entries"]),
+	}, int(m[`gschedd_requests_total{endpoint="/schedule",code="200"}`])
+}
+
+// The full mixed load (hits, misses, a timeout, an invalid program, an
+// injected panic) against an in-process server: counters must be
+// consistent with the client's view. The cmd/gschedd smoke test runs
+// the same drill against the real binary.
+func TestMixedLoadCountersConsistent(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Workers: 4, QueueDepth: 1024, AllowDebugPanic: true,
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	res, err := MixedLoad(ts.URL, 60, 6, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Scrape(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckCounters(m); err != nil {
+		t.Error(err)
+	}
+	if res.Codes[200] == 0 || res.Codes[400] == 0 || res.Codes[504] == 0 || res.Codes[500] != 1 {
+		t.Errorf("unexpected code mix: %v", res.Codes)
+	}
+	if res.HitHeaders == 0 {
+		t.Error("mixed load saw no cache hits")
+	}
+}
+
+// BenchmarkServeThroughput measures end-to-end requests/second through
+// the HTTP layer on the repeated progen corpus (cache hits dominate
+// after the first round, as in steady-state serving). Companion to
+// BenchmarkSchedulerThroughput in the root bench suite.
+func BenchmarkServeThroughput(b *testing.B) {
+	s := New(Config{Workers: 4, QueueDepth: 1 << 20,
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	corpus := make([][]byte, 8)
+	for i := range corpus {
+		body, err := json.Marshal(&Request{Source: progen.New(int64(i)).Source})
+		if err != nil {
+			b.Fatal(err)
+		}
+		corpus[i] = body
+		// Warm the cache so the benchmark measures steady state.
+		resp, err := http.Post(ts.URL+"/schedule", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			body := corpus[i%len(corpus)]
+			i++
+			resp, err := http.Post(ts.URL+"/schedule", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("status %d", resp.StatusCode)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkServeMiss measures the uncached path: every request is a
+// fresh program, so each pays compile + schedule + print.
+func BenchmarkServeMiss(b *testing.B) {
+	s := New(Config{Workers: 4, QueueDepth: 1 << 20, CacheBytes: -1,
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, err := json.Marshal(&Request{Source: progen.New(3).Source})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/schedule", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}

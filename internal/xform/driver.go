@@ -1,6 +1,7 @@
 package xform
 
 import (
+	"context"
 	"fmt"
 
 	"gsched/internal/cfg"
@@ -42,10 +43,22 @@ type Stats struct {
 // loops and the outer regions; finally the basic block scheduler runs on
 // every block.
 func Run(f *ir.Func, opts core.Options, cfgX Config) (Stats, error) {
+	return RunCtx(context.Background(), f, opts, cfgX)
+}
+
+// RunCtx is Run under a context. Cancellation is checked between the
+// pipeline's stages and between regions within each scheduling pass, so
+// a timed-out request aborts promptly with an error wrapping ctx.Err().
+func RunCtx(ctx context.Context, f *ir.Func, opts core.Options, cfgX Config) (Stats, error) {
 	var st Stats
+	if err := ctx.Err(); err != nil {
+		return st, fmt.Errorf("xform: cancelled: %w", err)
+	}
 	g := cfg.Build(f)
 	if opts.Rename {
+		done := opts.Trace.TimePhase(core.PhaseRename)
 		st.RenamedWebs += rename.Run(f, g)
+		done()
 		opts.Rename = false // done once
 	}
 
@@ -66,22 +79,28 @@ func Run(f *ir.Func, opts core.Options, cfgX Config) (Stats, error) {
 
 	if opts.Level > core.LevelNone {
 		if cfgX.Unroll {
+			done := opts.Trace.TimePhase(core.PhaseXform)
 			st.LoopsUnrolled = transformInnerLoops(f, cfgX.UnrollMaxBlocks, UnrollOnce)
+			done()
 		}
 		var snap *verify.Snapshot
 		if opts.Verify {
 			snap = verify.Capture(f)
 		}
 		// First pass: inner regions only.
-		scheduleFiltered(f, &opts, &st.Stats, func(r *cfg.Region, height int) bool {
+		if err := scheduleFiltered(ctx, f, &opts, &st.Stats, func(r *cfg.Region, height int) bool {
 			return r.IsLoop && height == 0
-		})
+		}); err != nil {
+			return st, err
+		}
 		if err := check(snap, opts.VerifyRules()); err != nil {
 			return st, err
 		}
 		rotated := 0
 		if cfgX.Rotate {
+			done := opts.Trace.TimePhase(core.PhaseXform)
 			rotated = transformInnerLoops(f, cfgX.RotateMaxBlocks, Rotate)
+			done()
 			st.LoopsRotated = rotated
 		}
 		if opts.Verify {
@@ -89,7 +108,7 @@ func Run(f *ir.Func, opts core.Options, cfgX Config) (Stats, error) {
 		}
 		// Second pass: rotated inner loops (now fresh regions) and the
 		// outer regions.
-		scheduleFiltered(f, &opts, &st.Stats, func(r *cfg.Region, height int) bool {
+		if err := scheduleFiltered(ctx, f, &opts, &st.Stats, func(r *cfg.Region, height int) bool {
 			if height >= opts.MaxRegionLevels {
 				return false
 			}
@@ -97,22 +116,29 @@ func Run(f *ir.Func, opts core.Options, cfgX Config) (Stats, error) {
 				return rotated > 0 // inner loops again only if rotation changed them
 			}
 			return true
-		})
+		}); err != nil {
+			return st, err
+		}
 		if err := check(snap, opts.VerifyRules()); err != nil {
 			return st, err
 		}
 	}
 
 	if opts.LocalPass {
+		if err := ctx.Err(); err != nil {
+			return st, fmt.Errorf("xform: cancelled: %w", err)
+		}
 		var snap *verify.Snapshot
 		if opts.Verify {
 			snap = verify.Capture(f)
 		}
 		mach := opts.Machine
+		done := opts.Trace.TimePhase(core.PhaseLocal)
 		for _, b := range f.Blocks {
 			core.ScheduleBlockLocal(b, mach)
 			st.LocalBlocks++
 		}
+		done()
 		// The basic block post-pass may not move anything across blocks.
 		if err := check(snap, verify.Rules{}); err != nil {
 			return st, err
@@ -127,12 +153,18 @@ func Run(f *ir.Func, opts core.Options, cfgX Config) (Stats, error) {
 // sequential run (per-function results are combined in program order
 // after all workers finish).
 func RunProgram(p *ir.Program, opts core.Options, cfgX Config) (Stats, error) {
+	return RunProgramCtx(context.Background(), p, opts, cfgX)
+}
+
+// RunProgramCtx is RunProgram under a context: cancellation propagates
+// into every function's pipeline run.
+func RunProgramCtx(ctx context.Context, p *ir.Program, opts core.Options, cfgX Config) (Stats, error) {
 	var st Stats
 	if opts.Parallelism > 1 && len(p.Funcs) > 1 {
 		stats := make([]Stats, len(p.Funcs))
 		errs := make([]error, len(p.Funcs))
 		core.RunFuncsParallel(len(p.Funcs), opts.Parallelism, func(i int) {
-			stats[i], errs[i] = Run(p.Funcs[i], opts, cfgX)
+			stats[i], errs[i] = RunCtx(ctx, p.Funcs[i], opts, cfgX)
 		})
 		for i, err := range errs {
 			if err != nil {
@@ -145,7 +177,7 @@ func RunProgram(p *ir.Program, opts core.Options, cfgX Config) (Stats, error) {
 		return st, nil
 	}
 	for _, f := range p.Funcs {
-		s, err := Run(f, opts, cfgX)
+		s, err := RunCtx(ctx, f, opts, cfgX)
 		if err != nil {
 			return st, err
 		}
@@ -223,18 +255,27 @@ func transformInnerLoops(f *ir.Func, maxBlocks int,
 
 // scheduleFiltered schedules the regions selected by keep (given the
 // region and its nesting height), innermost first, honouring the size
-// caps in opts.
-func scheduleFiltered(f *ir.Func, opts *core.Options, st *core.Stats,
-	keep func(r *cfg.Region, height int) bool) {
+// caps in opts. Cancellation is checked before every region; the first
+// trip aborts the walk and surfaces ctx.Err().
+func scheduleFiltered(ctx context.Context, f *ir.Func, opts *core.Options, st *core.Stats,
+	keep func(r *cfg.Region, height int) bool) error {
 
 	g := cfg.Build(f)
 	li := cfg.FindLoops(g)
 	if li.Irreducible {
 		st.RegionsSkipped++
-		return
+		return nil
 	}
 	heights := cfg.RegionHeights(li.Root)
+	var cancelled error
 	li.Root.Walk(func(r *cfg.Region) {
+		if cancelled != nil {
+			return
+		}
+		if err := ctx.Err(); err != nil {
+			cancelled = fmt.Errorf("xform: cancelled: %w", err)
+			return
+		}
 		h := heights[r]
 		if !keep(r, h) {
 			return
@@ -257,4 +298,5 @@ func scheduleFiltered(f *ir.Func, opts *core.Options, st *core.Stats,
 			st.RegionsSkipped++
 		}
 	})
+	return cancelled
 }
