@@ -1,0 +1,81 @@
+//go:build !race
+
+// Allocation regression tests. They pin the scheduler's steady-state
+// allocation counts so hot-path regressions fail loudly instead of
+// showing up months later as throughput erosion.
+//
+// Updating a ceiling: these are budgets, not measurements. If a change
+// legitimately adds allocations (a new pipeline phase, richer stats),
+// measure the new steady state with
+//
+//	go test -run TestSchedulingAllocBudget -v
+//
+// and set the ceiling to roughly 1.3× the printed value, noting the
+// measured number in the commit message. If a change trips a ceiling
+// unintentionally, profile first (go test -bench SchedulerThroughput
+// -memprofile mem.out) — the usual culprits are fmt formatting on a hot
+// path, sort.Slice's reflection, or per-row slice allocation where a
+// counted carve would do.
+//
+// The file is excluded under -race because the race detector adds its
+// own allocations, which would make the budgets meaningless.
+package gsched_test
+
+import (
+	"testing"
+
+	"gsched/internal/core"
+	"gsched/internal/machine"
+	"gsched/internal/workload"
+	"gsched/internal/xform"
+)
+
+// Budgets for the li workload (the paper's headline benchmark) at the
+// speculative level, sequential. Measured 2026-08: ScheduleProgram
+// ~1173 allocs, RunProgram (full unroll/rotate pipeline) ~1405.
+const (
+	maxScheduleAllocs = 1550
+	maxPipelineAllocs = 1850
+)
+
+func TestSchedulingAllocBudget(t *testing.T) {
+	w := workload.ByName("li")
+	if w == nil {
+		t.Fatal("li workload missing")
+	}
+	prog, err := w.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Defaults(machine.RS6K(), core.LevelSpeculative)
+	opts.Parallelism = 1
+
+	// Rescheduling an already-scheduled program is legal and reaches a
+	// steady state after the first run (AllocsPerRun's warm-up call), so
+	// the measurement sees only per-run work, not one-time growth.
+	got := testing.AllocsPerRun(20, func() {
+		if _, err := core.ScheduleProgram(prog, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("ScheduleProgram(li): %.0f allocs/run (budget %d)", got, maxScheduleAllocs)
+	if got > maxScheduleAllocs {
+		t.Errorf("ScheduleProgram(li) allocates %.0f per run, budget %d — see file comment before raising",
+			got, maxScheduleAllocs)
+	}
+
+	prog2, err := w.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = testing.AllocsPerRun(20, func() {
+		if _, err := xform.RunProgram(prog2, opts, xform.DefaultConfig()); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("RunProgram(li): %.0f allocs/run (budget %d)", got, maxPipelineAllocs)
+	if got > maxPipelineAllocs {
+		t.Errorf("RunProgram(li) allocates %.0f per run, budget %d — see file comment before raising",
+			got, maxPipelineAllocs)
+	}
+}

@@ -223,6 +223,27 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkScheduleOnlyLI isolates the scheduling pipeline from parsing:
+// compilation runs outside the timer, so allocs/op here is what the
+// pooled pipeline actually costs per compile of the LI workload.
+func BenchmarkScheduleOnlyLI(b *testing.B) {
+	w := workload.LI()
+	mach := machine.RS6K()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		prog, err := w.Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := xform.RunProgram(prog, core.Defaults(mach, core.LevelSpeculative), xform.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // biggestRegion returns the flow analyses and root region of the largest
 // function of the LI workload, the hot input for the dependence
 // micro-benchmarks below.

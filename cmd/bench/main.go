@@ -1,0 +1,217 @@
+// Command bench runs the repo's headline performance benchmarks and
+// writes a machine-readable JSON report (BENCH_schedule.json by
+// default), so CI can archive per-commit numbers and regressions show
+// up as diffs in an artifact instead of anecdotes.
+//
+//	go run ./cmd/bench -o BENCH_schedule.json -benchtime 1s
+//
+// The benchmarks mirror the `go test -bench` definitions — same
+// workloads, same server configurations — but run through
+// testing.Benchmark so the output is a stable JSON document rather
+// than text to parse.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"gsched/internal/core"
+	"gsched/internal/machine"
+	"gsched/internal/progen"
+	"gsched/internal/serve"
+	"gsched/internal/workload"
+	"gsched/internal/xform"
+)
+
+// Result is one benchmark's measurements. ReqPerS is present only for
+// the serving benchmarks (it is requests, not iterations, per second —
+// identical here because each iteration is one request).
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	ReqPerS     float64 `json:"req_per_s,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	GeneratedAt string   `json:"generated_at"`
+	GoVersion   string   `json:"go_version"`
+	NumCPU      int      `json:"num_cpu"`
+	Benchmarks  []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_schedule.json", "output file (- for stdout)")
+	benchtime := flag.String("benchtime", "1s", "per-benchmark measuring time")
+	testing.Init()
+	flag.Parse()
+	if err := flag.Lookup("test.benchtime").Value.Set(*benchtime); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+
+	report := Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+	}
+	for _, b := range []struct {
+		name  string
+		reqps bool
+		fn    func(*testing.B)
+	}{
+		{"scheduler_throughput", false, benchSchedulerThroughput},
+		{"schedule_only_li", false, benchScheduleOnlyLI},
+		{"serve_hit", true, benchServeHit},
+		{"serve_miss", true, benchServeMiss},
+	} {
+		fmt.Fprintf(os.Stderr, "running %s...\n", b.name)
+		res := testing.Benchmark(b.fn)
+		r := Result{
+			Name:        b.name,
+			Iterations:  res.N,
+			NsPerOp:     res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+		if b.reqps && res.T > 0 {
+			r.ReqPerS = float64(res.N) / res.T.Seconds()
+		}
+		report.Benchmarks = append(report.Benchmarks, r)
+		fmt.Fprintf(os.Stderr, "  %d iters, %d ns/op, %d allocs/op\n",
+			res.N, res.NsPerOp(), res.AllocsPerOp())
+	}
+
+	enc, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+// benchSchedulerThroughput is BenchmarkSchedulerThroughput: compile +
+// full pipeline per iteration on the li workload.
+func benchSchedulerThroughput(b *testing.B) {
+	w := workload.LI()
+	mach := machine.RS6K()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		prog, err := w.Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := xform.RunProgram(prog, core.Defaults(mach, core.LevelSpeculative), xform.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchScheduleOnlyLI times only the scheduling pipeline; compilation
+// runs outside the timer.
+func benchScheduleOnlyLI(b *testing.B) {
+	w := workload.LI()
+	mach := machine.RS6K()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		prog, err := w.Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := xform.RunProgram(prog, core.Defaults(mach, core.LevelSpeculative), xform.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func quietServer(cfg serve.Config) (*serve.Server, *httptest.Server) {
+	cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	s := serve.New(cfg)
+	return s, httptest.NewServer(s.Handler())
+}
+
+func postOnce(url string, body []byte) error {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// benchServeHit is BenchmarkServeThroughput: a warm cache served over
+// HTTP, concurrent clients.
+func benchServeHit(b *testing.B) {
+	_, ts := quietServer(serve.Config{Workers: 4, QueueDepth: 1 << 20})
+	defer ts.Close()
+
+	corpus := make([][]byte, 8)
+	for i := range corpus {
+		body, err := json.Marshal(&serve.Request{Source: progen.New(int64(i)).Source})
+		if err != nil {
+			b.Fatal(err)
+		}
+		corpus[i] = body
+		if err := postOnce(ts.URL+"/schedule", body); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if err := postOnce(ts.URL+"/schedule", corpus[i%len(corpus)]); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}
+
+// benchServeMiss is BenchmarkServeMiss: caching disabled, every request
+// runs the pipeline.
+func benchServeMiss(b *testing.B) {
+	_, ts := quietServer(serve.Config{Workers: 4, QueueDepth: 1 << 20, CacheBytes: -1})
+	defer ts.Close()
+
+	body, err := json.Marshal(&serve.Request{Source: progen.New(3).Source})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := postOnce(ts.URL+"/schedule", body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

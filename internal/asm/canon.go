@@ -2,6 +2,7 @@ package asm
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"gsched/internal/ir"
@@ -18,38 +19,48 @@ import (
 // significant (it determines layout and lookup order).
 func Canonical(p *ir.Program) string {
 	var sb strings.Builder
+	CanonicalTo(&sb, p)
+	return sb.String()
+}
+
+// CanonicalTo streams the canonical form into w, so hashing callers can
+// feed a digest directly without materializing the text. Write errors
+// are ignored: the intended sinks (hashes, buffers) cannot fail.
+func CanonicalTo(w io.Writer, p *ir.Program) {
+	var buf []byte
 	for _, s := range p.Syms {
-		fmt.Fprintf(&sb, "data %s %d", s.Name, s.Words)
+		fmt.Fprintf(w, "data %s %d", s.Name, s.Words)
 		if len(s.Init) > 0 {
-			sb.WriteString(" =")
+			io.WriteString(w, " =")
 			for _, v := range s.Init {
-				fmt.Fprintf(&sb, " %d", v)
+				fmt.Fprintf(w, " %d", v)
 			}
 		}
-		sb.WriteString("\n")
+		io.WriteString(w, "\n")
 	}
 	for _, f := range p.Funcs {
-		fmt.Fprintf(&sb, "func %s", f.Name)
+		fmt.Fprintf(w, "func %s", f.Name)
 		for _, prm := range f.Params {
-			fmt.Fprintf(&sb, " %s", prm)
+			fmt.Fprintf(w, " %s", prm)
 		}
 		if f.FrameWords > 0 {
-			fmt.Fprintf(&sb, " frame=%d", f.FrameWords)
+			fmt.Fprintf(w, " frame=%d", f.FrameWords)
 		}
-		sb.WriteString(":\n")
+		io.WriteString(w, ":\n")
 		for _, b := range f.Blocks {
 			if b.Label == "" && len(b.Instrs) == 0 {
 				continue
 			}
 			if b.Label != "" {
-				fmt.Fprintf(&sb, "%s:\n", b.Label)
+				io.WriteString(w, b.Label)
+				io.WriteString(w, ":\n")
 			}
 			for _, i := range b.Instrs {
-				sb.WriteString("\t")
-				sb.WriteString(i.String())
-				sb.WriteString("\n")
+				buf = append(buf[:0], '\t')
+				buf = i.AppendString(buf)
+				buf = append(buf, '\n')
+				w.Write(buf)
 			}
 		}
 	}
-	return sb.String()
 }

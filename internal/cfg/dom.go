@@ -126,17 +126,37 @@ type PostDomTree struct {
 func PostDominators(sg *Subgraph, exits []int) *PostDomTree {
 	n := sg.G.N()
 	vx := n
-	// Build the reversed adjacency including the virtual exit.
+	// Build the reversed adjacency including the virtual exit, carving
+	// all rows from one backing array (count, carve, fill).
 	succs := make([][]int, n+1)
 	preds := make([][]int, n+1)
 	isExit := make([]bool, n)
 	for _, e := range exits {
 		isExit[e] = true
 	}
+	total := 0
+	nsucc := make([]int, n+1)
+	npred := make([]int, n+1)
 	for _, u := range sg.Nodes {
 		if len(sg.Succs[u]) == 0 {
 			isExit[u] = true
 		}
+		for _, v := range sg.Succs[u] {
+			nsucc[v]++ // reversed: v -> u
+			npred[u]++
+			total++
+		}
+		if isExit[u] {
+			nsucc[vx]++
+			npred[u]++
+			total++
+		}
+	}
+	backing := make([]int, 2*total)
+	sb, pb := backing[:total], backing[total:]
+	for i := 0; i <= n; i++ {
+		succs[i], sb = sb[:0:nsucc[i]], sb[nsucc[i]:]
+		preds[i], pb = pb[:0:npred[i]], pb[npred[i]:]
 	}
 	addEdge := func(u, v int) { // edge u->v in the original direction
 		// reversed: v -> u

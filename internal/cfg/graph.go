@@ -24,13 +24,65 @@ type Graph struct {
 }
 
 // Build constructs the flow graph of f. Block 0 is the entry node.
+// Adjacency rows are carved out of one backing array (a block has at
+// most two successors), and branch targets resolve through a label
+// index instead of a per-branch linear scan.
 func Build(f *ir.Func) *Graph {
 	n := len(f.Blocks)
 	g := &Graph{F: f, Succs: make([][]int, n), Preds: make([][]int, n)}
+	byLabel := make(map[string]int, n)
 	for i, b := range f.Blocks {
-		for _, s := range ir.Succs(f, b) {
-			g.Succs[i] = append(g.Succs[i], s.Index)
-			g.Preds[s.Index] = append(g.Preds[s.Index], i)
+		if b.Label != "" {
+			byLabel[b.Label] = i
+		}
+	}
+	// First pass: per-block successor targets (≤2) and predecessor
+	// counts.
+	targets := make([][2]int, n)
+	nsucc := make([]int, n)
+	npred := make([]int, n)
+	total := 0
+	for i, b := range f.Blocks {
+		t := targets[i][:0]
+		term := b.Terminator()
+		switch {
+		case term == nil:
+			if i+1 < n {
+				t = append(t, i+1)
+			}
+		case term.Op == ir.OpB:
+			if tgt, ok := byLabel[term.Target]; ok {
+				t = append(t, tgt)
+			}
+		case term.Op == ir.OpBC || term.Op == ir.OpBCT:
+			if i+1 < n {
+				t = append(t, i+1)
+			}
+			if tgt, ok := byLabel[term.Target]; ok {
+				t = append(t, tgt)
+			}
+		}
+		nsucc[i] = len(t)
+		for _, v := range t {
+			npred[v]++
+		}
+		total += len(t)
+	}
+	// Second pass: carve rows and fill.
+	backing := make([]int, 2*total)
+	sb, pb := backing[:total], backing[total:]
+	for i := 0; i < n; i++ {
+		if nsucc[i] > 0 {
+			g.Succs[i], sb = sb[:nsucc[i]:nsucc[i]], sb[nsucc[i]:]
+		}
+		if npred[i] > 0 {
+			g.Preds[i], pb = pb[:0:npred[i]], pb[npred[i]:]
+		}
+	}
+	for i := 0; i < n; i++ {
+		copy(g.Succs[i], targets[i][:nsucc[i]])
+		for _, v := range targets[i][:nsucc[i]] {
+			g.Preds[v] = append(g.Preds[v], i)
 		}
 	}
 	return g
@@ -118,12 +170,38 @@ func (g *Graph) Forward(nodes []int, entry int, isBack func(u, v int) bool) *Sub
 		Succs: make([][]int, n),
 		Preds: make([][]int, n),
 		Entry: entry,
+		Nodes: nodes,
 	}
 	for _, u := range nodes {
 		sg.In[u] = true
 	}
+	// Count kept edges, then carve all adjacency rows from one backing
+	// array instead of growing per-node slices edge by edge.
+	total := 0
 	for _, u := range nodes {
-		sg.Nodes = append(sg.Nodes, u)
+		for _, v := range g.Succs[u] {
+			if sg.In[v] && !isBack(u, v) {
+				total++
+			}
+		}
+	}
+	nsucc := make([]int, n)
+	npred := make([]int, n)
+	for _, u := range nodes {
+		for _, v := range g.Succs[u] {
+			if sg.In[v] && !isBack(u, v) {
+				nsucc[u]++
+				npred[v]++
+			}
+		}
+	}
+	backing := make([]int, 2*total)
+	sb, pb := backing[:total], backing[total:]
+	for _, u := range nodes {
+		sg.Succs[u], sb = sb[:0:nsucc[u]], sb[nsucc[u]:]
+		sg.Preds[u], pb = pb[:0:npred[u]], pb[npred[u]:]
+	}
+	for _, u := range nodes {
 		for _, v := range g.Succs[u] {
 			if sg.In[v] && !isBack(u, v) {
 				sg.Succs[u] = append(sg.Succs[u], v)

@@ -2,6 +2,7 @@ package cfg
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -160,11 +161,11 @@ func FindLoops(g *Graph) *LoopInfo {
 	}
 	// Deterministic order: by size ascending then header (inner loops are
 	// strictly smaller than the loops containing them).
-	sort.Slice(regions, func(i, j int) bool {
-		if len(regions[i].Blocks) != len(regions[j].Blocks) {
-			return len(regions[i].Blocks) < len(regions[j].Blocks)
+	slices.SortFunc(regions, func(a, b *Region) int {
+		if len(a.Blocks) != len(b.Blocks) {
+			return len(a.Blocks) - len(b.Blocks)
 		}
-		return regions[i].Header < regions[j].Header
+		return a.Header - b.Header
 	})
 
 	// Root region covers everything reachable.
@@ -194,7 +195,7 @@ func FindLoops(g *Graph) *LoopInfo {
 	var setDepth func(r *Region, d int)
 	setDepth = func(r *Region, d int) {
 		r.Depth = d
-		sort.Slice(r.Inner, func(i, j int) bool { return r.Inner[i].Header < r.Inner[j].Header })
+		slices.SortFunc(r.Inner, func(a, b *Region) int { return a.Header - b.Header })
 		for _, in := range r.Inner {
 			setDepth(in, d+1)
 		}
@@ -252,15 +253,11 @@ func hasCycleWithout(g *Graph, reach []bool, skip map[[2]int]bool) bool {
 // forward view: nodes with an edge out of the region, a back edge (the
 // loop-continuing jump leaves the forward body), or a function exit.
 func RegionExits(g *Graph, li *LoopInfo, r *Region) []int {
-	in := make(map[int]bool, len(r.Blocks))
-	for _, b := range r.Blocks {
-		in[b] = true
-	}
 	var exits []int
 	for _, u := range r.Blocks {
 		isExit := len(g.Succs[u]) == 0
 		for _, v := range g.Succs[u] {
-			if !in[v] || li.IsBackEdge(u, v) {
+			if !r.Contains(v) || li.IsBackEdge(u, v) {
 				isExit = true
 			}
 		}

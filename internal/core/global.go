@@ -47,13 +47,16 @@ func (c *candidate) class() int {
 	return 0
 }
 
-// regionScheduler carries the state of scheduling one region.
+// regionScheduler carries the state of scheduling one region. All of
+// its tables are borrowed from the pipeline pl, so back-to-back regions
+// on one worker reuse the same memory.
 type regionScheduler struct {
 	f    *ir.Func
 	g    *cfg.Graph
 	p    *pdg.PDG
 	opts *Options
 	st   *Stats
+	pl   *pipeline
 
 	// scheduled marks instruction IDs placed at their final position.
 	// All per-instruction state is dense, indexed by instruction ID
@@ -65,7 +68,7 @@ type regionScheduler struct {
 	// session that placed them).
 	cycleOf []int
 	blockOf []int
-	// pos is the original program position of every instruction.
+	// pos is the region-relative program position of every instruction.
 	pos []int
 	// own marks the region's own blocks (not part of any nested
 	// region), indexed by block. Only they run sessions and only they
@@ -76,9 +79,13 @@ type regionScheduler struct {
 	// motions (§5.3: "this type of information has to be updated
 	// dynamically"). It is computed lazily: liveStale marks it out of
 	// date, and liveness() reruns the analysis at the next query.
+	// When scope is non-nil the analysis is restricted to the scope's
+	// blocks against the frozen baseline liveBase (region-parallel
+	// waves; see ScheduleRegionTree).
 	live      *dataflow.Liveness
 	liveStale bool
-	liveCalc  dataflow.Analyzer
+	scope     []bool
+	liveBase  *dataflow.Liveness
 	// processed marks blocks whose sessions have completed (or that
 	// were pinned and passed) in this region walk, indexed by block.
 	processed []bool
@@ -97,10 +104,16 @@ func (rs *regionScheduler) ensureID(id int) {
 
 // run schedules every own block of the region in topological order.
 func (rs *regionScheduler) run() {
-	rs.own = make([]bool, len(rs.f.Blocks))
-	rs.processed = make([]bool, len(rs.f.Blocks))
-	for _, b := range rs.p.Region.OwnBlocks() {
+	// Own blocks = the region's blocks minus every nested region's,
+	// marked in place (OwnBlocks would allocate a map and slice per
+	// region).
+	for _, b := range rs.p.Region.Blocks {
 		rs.own[b] = true
+	}
+	for _, in := range rs.p.Region.Inner {
+		for _, b := range in.Blocks {
+			rs.own[b] = false
+		}
 	}
 	for _, a := range rs.p.Topo {
 		// Mark instructions of pinned (nested-region) blocks as
@@ -120,25 +133,37 @@ func (rs *regionScheduler) run() {
 	}
 }
 
-// gatherCandidates builds the candidate instruction list for block a
-// (§5.1's candidate blocks and candidate instructions).
-func (rs *regionScheduler) gatherCandidates(a int) []*candidate {
-	var cands []*candidate
-	heights := make(map[int]*pdg.HeightVals) // block -> (D, CP)
-	heightsOf := func(b int) *pdg.HeightVals {
-		if h, ok := heights[b]; ok {
-			return h
-		}
-		h := pdg.Heights(rs.f.Blocks[b], rs.p.DDG, rs.opts.Machine)
-		heights[b] = &h
-		return &h
+// heightsOf returns the §5.2 priority values (D, CP) of block b's
+// instructions, computed once per session and cached on the pipeline.
+// Stale cache rows from earlier sessions, regions, or functions can
+// never match: the stamp only ever increases.
+func (rs *regionScheduler) heightsOf(b int) *pdg.HeightVals {
+	pl := rs.pl
+	h := &pl.heights[b]
+	if pl.heightStamp[b] != pl.stamp {
+		pdg.HeightsInto(h, rs.f.Blocks[b], rs.p.DDG, rs.opts.Machine)
+		pl.heightStamp[b] = pl.stamp
 	}
+	return h
+}
+
+// gatherCandidates builds the candidate instruction list for block a
+// (§5.1's candidate blocks and candidate instructions). Candidates live
+// in the pipeline's chunked arena; the returned slice (also pooled) is
+// valid until the next session on the same pipeline.
+func (rs *regionScheduler) gatherCandidates(a int) []*candidate {
+	pl := rs.pl
+	pl.stamp++
+	pl.resetCands()
+	cands := pl.cands[:0]
 	add := func(i *ir.Instr, home int, spec, dup bool, prob float64) {
-		h := heightsOf(home)
-		cands = append(cands, &candidate{
+		h := rs.heightsOf(home)
+		c := pl.newCand()
+		*c = candidate{
 			instr: i, home: home, spec: spec, dup: dup, prob: prob,
 			pos: rs.pos[i.ID], d: h.D(i.ID), cp: h.CP(i.ID),
-		})
+		}
+		cands = append(cands, c)
 	}
 	// The block's own instructions, including its terminator.
 	for _, i := range rs.f.Blocks[a].Instrs {
@@ -204,6 +229,7 @@ func (rs *regionScheduler) gatherCandidates(a int) []*candidate {
 			}
 		}
 	}
+	pl.cands = cands
 	return cands
 }
 
@@ -212,7 +238,8 @@ func (rs *regionScheduler) gatherCandidates(a int) []*candidate {
 // own blocks too, none reaching b twice via a (a itself must be a direct
 // predecessor so its copy covers exactly the paths through a).
 func (rs *regionScheduler) dupJoinsBelow(a int) []int {
-	var out []int
+	out := rs.pl.dupJoins[:0]
+	defer func() { rs.pl.dupJoins = out[:0] }()
 	for _, b := range rs.g.Succs[a] {
 		if b == a || !rs.own[b] || !rs.p.Region.Contains(b) {
 			continue
@@ -275,7 +302,8 @@ func (rs *regionScheduler) allowDuplicate(a int, join int, i *ir.Instr) bool {
 // The block's own instructions are always viable: their predecessors are
 // in the block itself or in topologically earlier blocks.
 func (rs *regionScheduler) viability(a int, cands []*candidate) []*candidate {
-	viable := make([]*candidate, rs.f.NumInstrIDs())
+	rs.pl.viable = grown(rs.pl.viable, rs.f.NumInstrIDs())
+	viable := rs.pl.viable
 	for _, c := range cands {
 		viable[c.instr.ID] = c
 	}
@@ -355,9 +383,10 @@ func (rs *regionScheduler) scheduleBlock(a int) {
 	// done marks instructions placed in this session. Duplication can
 	// clone instructions mid-session; clone IDs fall outside the table
 	// and are never session-placed, so out-of-range reads are false.
-	done := make([]bool, rs.f.NumInstrIDs())
+	rs.pl.done = grown(rs.pl.done, rs.f.NumInstrIDs())
+	done := rs.pl.done
 	isDone := func(id int) bool { return id < len(done) && done[id] }
-	var newOrder []*ir.Instr
+	newOrder := rs.pl.newOrder[:0]
 	movedSomething := false
 
 	// earliest returns the first cycle the candidate may start, or -1
@@ -412,7 +441,7 @@ func (rs *regionScheduler) scheduleBlock(a int) {
 		}
 
 		// Collect candidates ready this cycle.
-		var ready []*candidate
+		ready := rs.pl.ready[:0]
 		for _, c := range cands {
 			if done[c.instr.ID] {
 				continue
@@ -490,10 +519,15 @@ func (rs *regionScheduler) scheduleBlock(a int) {
 			newOrder = append(newOrder, term)
 			ownLeft--
 		}
+		rs.pl.ready = ready
 		cycle++
 	}
 
-	blk.Instrs = newOrder
+	// newOrder is pooled scratch: copy it into the block's own backing
+	// (same length — every own and moved-in instruction was physically
+	// placed — so this never allocates).
+	blk.Instrs = append(blk.Instrs[:0], newOrder...)
+	rs.pl.newOrder = newOrder
 	if movedSomething {
 		rs.refreshLiveness()
 	}
@@ -544,7 +578,7 @@ func (rs *regionScheduler) refreshLiveness() {
 
 func (rs *regionScheduler) liveness() *dataflow.Liveness {
 	if rs.liveStale || rs.live == nil {
-		rs.live = rs.liveCalc.Compute(rs.f, rs.g)
+		rs.live = rs.pl.live.ComputeScoped(rs.f, rs.g, rs.scope, rs.liveBase)
 		rs.liveStale = false
 	}
 	return rs.live

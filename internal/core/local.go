@@ -8,6 +8,23 @@ import (
 	"gsched/internal/pdg"
 )
 
+// localScratch holds the local scheduler's per-block buffers, owned by a
+// pipeline so a function-sized post-pass reuses the same memory for
+// every block.
+type localScratch struct {
+	nodes    []localNode
+	done     []bool
+	cycleOf  []int
+	newOrder []*ir.Instr
+	ready    []localNode
+	hv       pdg.HeightVals
+}
+
+type localNode struct {
+	instr *ir.Instr
+	pos   int
+}
+
 // ScheduleBlockLocal reorders one basic block with a cycle-driven list
 // scheduler against the machine description. This is the §5.1 post-pass
 // ("the basic block scheduler is applied to every single basic block of a
@@ -15,24 +32,28 @@ import (
 // of the BASE configuration's scheduling, standing in for the XL
 // compiler's local scheduler of [W90].
 func ScheduleBlockLocal(blk *ir.Block, mach *machine.Desc) {
+	pl := getPipeline()
+	defer putPipeline(pl)
+	pl.scheduleBlockLocal(blk, mach)
+}
+
+// scheduleBlockLocal is ScheduleBlockLocal on this pipeline's buffers.
+func (pl *pipeline) scheduleBlockLocal(blk *ir.Block, mach *machine.Desc) {
 	if len(blk.Instrs) < 2 {
 		return
 	}
-	ddg := pdg.BuildBlockDDG(blk, mach)
-	h := pdg.Heights(blk, ddg, mach)
+	ddg := pl.ddgb.BuildBlockDDG(blk, mach)
+	pdg.HeightsInto(&pl.local.hv, blk, ddg, mach)
+	h := &pl.local.hv
 	term := blk.Terminator()
 
-	type node struct {
-		instr *ir.Instr
-		pos   int
-	}
-	nodes := make([]node, len(blk.Instrs))
+	nodes := grown(pl.local.nodes, len(blk.Instrs))
 	// Per-instruction state is offset by the block's smallest ID so a
 	// short block late in a function does not pay for the whole
 	// function's ID space.
 	lo, hi := blk.Instrs[0].ID, blk.Instrs[0].ID
 	for k, i := range blk.Instrs {
-		nodes[k] = node{instr: i, pos: k}
+		nodes[k] = localNode{instr: i, pos: k}
 		if i.ID < lo {
 			lo = i.ID
 		}
@@ -40,9 +61,9 @@ func ScheduleBlockLocal(blk *ir.Block, mach *machine.Desc) {
 			hi = i.ID
 		}
 	}
-	done := make([]bool, hi-lo+1)
-	cycleOf := make([]int, hi-lo+1)
-	newOrder := make([]*ir.Instr, 0, len(nodes))
+	done := grown(pl.local.done, hi-lo+1)
+	cycleOf := grown(pl.local.cycleOf, hi-lo+1)
+	newOrder := pl.local.newOrder[:0]
 
 	earliest := func(i *ir.Instr) int {
 		at := 0
@@ -60,7 +81,7 @@ func ScheduleBlockLocal(blk *ir.Block, mach *machine.Desc) {
 	}
 
 	cycle := 0
-	ready := make([]node, 0, len(nodes))
+	ready := pl.local.ready[:0]
 	for len(newOrder) < len(nodes) {
 		ready = ready[:0]
 		for _, n := range nodes {
@@ -74,7 +95,7 @@ func ScheduleBlockLocal(blk *ir.Block, mach *machine.Desc) {
 				ready = append(ready, n)
 			}
 		}
-		slices.SortFunc(ready, func(x, y node) int {
+		slices.SortFunc(ready, func(x, y localNode) int {
 			if dx, dy := h.D(x.instr.ID), h.D(y.instr.ID); dx != dy {
 				return dy - dx
 			}
@@ -96,5 +117,9 @@ func ScheduleBlockLocal(blk *ir.Block, mach *machine.Desc) {
 		}
 		cycle++
 	}
-	blk.Instrs = newOrder
+	// newOrder is pooled scratch; copy back into the block's backing
+	// (same length, so no allocation).
+	blk.Instrs = append(blk.Instrs[:0], newOrder...)
+	pl.local.nodes, pl.local.done, pl.local.cycleOf = nodes, done, cycleOf
+	pl.local.newOrder, pl.local.ready = newOrder, ready
 }

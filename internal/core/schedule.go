@@ -7,7 +7,6 @@ import (
 
 	"gsched/internal/cfg"
 	"gsched/internal/ir"
-	"gsched/internal/pdg"
 	"gsched/internal/rename"
 	"gsched/internal/verify"
 )
@@ -34,6 +33,9 @@ func ScheduleFuncCtx(ctx context.Context, f *ir.Func, opts Options) (Stats, erro
 	}
 	g := cfg.Build(f)
 
+	pl := getPipeline()
+	defer putPipeline(pl)
+
 	if opts.Rename {
 		done := opts.Trace.TimePhase(PhaseRename)
 		st.RenamedWebs = rename.Run(f, g)
@@ -48,7 +50,7 @@ func ScheduleFuncCtx(ctx context.Context, f *ir.Func, opts Options) (Stats, erro
 	if opts.Level > LevelNone {
 		li := cfg.FindLoops(g)
 		if !li.Irreducible {
-			if err := scheduleRegions(ctx, f, g, li, &opts, &st); err != nil {
+			if err := scheduleRegionTree(ctx, pl, f, g, li, &opts, &st, nil); err != nil {
 				return st, err
 			}
 		} else {
@@ -62,7 +64,7 @@ func ScheduleFuncCtx(ctx context.Context, f *ir.Func, opts Options) (Stats, erro
 		}
 		done := opts.Trace.TimePhase(PhaseLocal)
 		for _, b := range f.Blocks {
-			ScheduleBlockLocal(b, opts.Machine)
+			pl.scheduleBlockLocal(b, opts.Machine)
 			st.LocalBlocks++
 		}
 		done()
@@ -153,85 +155,12 @@ func runFuncsParallel(n, workers int, fn func(i int)) {
 	wg.Wait()
 }
 
-// scheduleRegions walks the region tree innermost-first and schedules
-// each eligible region (§6's configuration: only the two inner levels,
-// only "small" regions of at most MaxRegionBlocks blocks and
-// MaxRegionInstrs instructions, only reducible regions). Region heights
-// are computed once up front; recomputing them per node would be
-// quadratic in the nesting depth. Cancellation is checked before every
-// region; the first trip aborts the walk and surfaces ctx.Err().
-func scheduleRegions(ctx context.Context, f *ir.Func, g *cfg.Graph, li *cfg.LoopInfo, opts *Options, st *Stats) error {
-	heights := cfg.RegionHeights(li.Root)
-	var cancelled error
-	li.Root.Walk(func(r *cfg.Region) {
-		if cancelled != nil {
-			return
-		}
-		if err := ctx.Err(); err != nil {
-			cancelled = fmt.Errorf("core: schedule cancelled: %w", err)
-			return
-		}
-		if heights[r] >= opts.MaxRegionLevels {
-			st.RegionsSkipped++
-			return
-		}
-		if opts.MaxRegionBlocks > 0 && len(r.Blocks) > opts.MaxRegionBlocks {
-			st.RegionsSkipped++
-			return
-		}
-		if opts.MaxRegionInstrs > 0 {
-			n := 0
-			for _, b := range r.Blocks {
-				n += len(f.Blocks[b].Instrs)
-			}
-			if n > opts.MaxRegionInstrs {
-				st.RegionsSkipped++
-				return
-			}
-		}
-		if err := ScheduleRegion(f, g, li, r, opts, st); err != nil {
-			st.RegionsSkipped++
-		}
-	})
-	return cancelled
-}
-
-// ScheduleRegion schedules one region with the global framework. It is
-// exported for the loop-rotation driver in package xform, which schedules
-// rotated inner loops a second time.
+// ScheduleRegion schedules one region with the global framework, on a
+// pooled pipeline with whole-function liveness. It is exported for
+// callers that schedule single regions outside the tree walk (e.g. the
+// minmax evaluation experiments).
 func ScheduleRegion(f *ir.Func, g *cfg.Graph, li *cfg.LoopInfo, r *cfg.Region, opts *Options, st *Stats) error {
-	donePDG := opts.Trace.TimePhase(PhasePDG)
-	p, err := pdg.Build(f, g, li, r, opts.Machine)
-	donePDG()
-	if err != nil {
-		return err
-	}
-	n := f.NumInstrIDs()
-	rs := &regionScheduler{
-		f: f, g: g, p: p, opts: opts, st: st,
-		scheduled: make([]bool, n),
-		cycleOf:   make([]int, n),
-		blockOf:   make([]int, n),
-		pos:       originalPositions(f),
-		// live is computed lazily by rs.liveness() at the first
-		// speculative-motion query.
-	}
-	doneRun := opts.Trace.TimePhase(PhaseRegion)
-	rs.run()
-	doneRun()
-	st.RegionsScheduled++
-	return nil
-}
-
-// originalPositions maps instruction IDs to their position in the current
-// layout, used for the §5.2 final tie-break ("pick an instruction that
-// occurred in the code first").
-func originalPositions(f *ir.Func) []int {
-	pos := make([]int, f.NumInstrIDs())
-	n := 0
-	f.Instrs(func(_ *ir.Block, i *ir.Instr) {
-		pos[i.ID] = n
-		n++
-	})
-	return pos
+	pl := getPipeline()
+	defer putPipeline(pl)
+	return pl.scheduleRegion(f, g, li, r, opts, st, nil, nil)
 }

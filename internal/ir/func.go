@@ -3,6 +3,7 @@ package ir
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // Block is a basic block: a maximal straight-line instruction sequence.
@@ -63,7 +64,13 @@ type Func struct {
 	// (spill slots allocated by the register allocator).
 	FrameWords int64
 
-	nextID  int
+	// nextID is the instruction ID allocator. It is atomic so that
+	// concurrent region schedulers may clone instructions (duplication)
+	// in the same function without a race; IDs only ever index dense
+	// tables and never influence scheduling decisions or output, so the
+	// allocation order being nondeterministic under concurrency is
+	// harmless.
+	nextID  atomic.Int64
 	nextReg [NumClasses]int32
 }
 
@@ -80,21 +87,19 @@ func (f *Func) NewBlock(label string) *Block {
 // NewInstr allocates an instruction with a fresh ID. The instruction is
 // not placed into any block.
 func (f *Func) NewInstr(op Op) *Instr {
-	i := &Instr{ID: f.nextID, Op: op, Def: NoReg, Def2: NoReg, A: NoReg, B: NoReg}
-	f.nextID++
-	return i
+	id := int(f.nextID.Add(1)) - 1
+	return &Instr{ID: id, Op: op, Def: NoReg, Def2: NoReg, A: NoReg, B: NoReg}
 }
 
-// CloneInstr deep-copies an instruction, assigning a fresh ID.
+// CloneInstr deep-copies an instruction, assigning a fresh ID. Safe for
+// concurrent use.
 func (f *Func) CloneInstr(i *Instr) *Instr {
-	c := i.Clone(f.nextID)
-	f.nextID++
-	return c
+	return i.Clone(int(f.nextID.Add(1)) - 1)
 }
 
 // NumInstrIDs returns an upper bound on instruction IDs in the function,
 // suitable for sizing dense ID-indexed tables.
-func (f *Func) NumInstrIDs() int { return f.nextID }
+func (f *Func) NumInstrIDs() int { return int(f.nextID.Load()) }
 
 // NewReg returns a fresh symbolic register of the given class.
 func (f *Func) NewReg(c RegClass) Reg {
@@ -163,13 +168,16 @@ func (f *Func) String() string {
 		fmt.Fprintf(&sb, " frame=%d", f.FrameWords)
 	}
 	sb.WriteString(":\n")
+	var buf []byte
 	for _, b := range f.Blocks {
 		if b.Label != "" {
-			fmt.Fprintf(&sb, "%s:\n", b.Label)
+			sb.WriteString(b.Label)
+			sb.WriteString(":\n")
 		}
 		for _, i := range b.Instrs {
 			sb.WriteString("\t")
-			sb.WriteString(i.String())
+			buf = i.AppendString(buf[:0])
+			sb.Write(buf)
 			if i.Comment != "" {
 				sb.WriteString("\t; ")
 				sb.WriteString(i.Comment)

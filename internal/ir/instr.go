@@ -1,9 +1,6 @@
 package ir
 
-import (
-	"fmt"
-	"strings"
-)
+import "strconv"
 
 // Mem describes a memory reference: the effective address is the value of
 // Base plus Off, optionally annotated with the symbol the front end knows
@@ -19,17 +16,24 @@ type Mem struct {
 }
 
 func (m *Mem) String() string {
-	base := ""
-	if m.Base.Valid() {
-		base = m.Base.String()
-	}
+	var a [32]byte
+	return string(m.appendTo(a[:0]))
+}
+
+// appendTo appends m's rendering to b and returns it.
+func (m *Mem) appendTo(b []byte) []byte {
 	if m.Frame {
-		return fmt.Sprintf("frame(%s,%d)", base, m.Off)
+		b = append(b, "frame("...)
+	} else {
+		b = append(b, m.Sym...)
+		b = append(b, '(')
 	}
-	if m.Sym != "" {
-		return fmt.Sprintf("%s(%s,%d)", m.Sym, base, m.Off)
+	if m.Base.Valid() {
+		b = appendReg(b, m.Base)
 	}
-	return fmt.Sprintf("(%s,%d)", base, m.Off)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, m.Off, 10)
+	return append(b, ')')
 }
 
 // Instr is a single machine instruction. Instructions are identified by
@@ -121,69 +125,145 @@ func (i *Instr) Clone(id int) *Instr {
 // String renders i in the paper's assembly syntax, e.g.
 // "LU r0,r31=a(r31,8)" or "BF CL.4,cr7,gt".
 func (i *Instr) String() string {
-	var b strings.Builder
+	var a [64]byte
+	return string(i.AppendString(a[:0]))
+}
+
+// AppendString appends String's rendering to b and returns it, so
+// printers and hashers on the hot serving path can reuse one buffer
+// across instructions instead of allocating per instruction.
+func (i *Instr) AppendString(b []byte) []byte {
 	switch i.Op {
 	case OpNop:
-		b.WriteString("NOP")
+		b = append(b, "NOP"...)
 	case OpLI:
-		fmt.Fprintf(&b, "LI %s=%d", i.Def, i.Imm)
+		b = append(b, "LI "...)
+		b = appendReg(b, i.Def)
+		b = append(b, '=')
+		b = strconv.AppendInt(b, i.Imm, 10)
 	case OpLR:
-		fmt.Fprintf(&b, "LR %s=%s", i.Def, i.A)
-	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr:
-		fmt.Fprintf(&b, "%s %s=%s,%s", i.Op, i.Def, i.A, i.B)
+		b = append(b, "LR "...)
+		b = appendReg(b, i.Def)
+		b = append(b, '=')
+		b = appendReg(b, i.A)
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpFAdd, OpFSub, OpFMul, OpFDiv:
+		b = append(b, i.Op.String()...)
+		b = append(b, ' ')
+		b = appendReg(b, i.Def)
+		b = append(b, '=')
+		b = appendReg(b, i.A)
+		b = append(b, ',')
+		b = appendReg(b, i.B)
 	case OpAddI, OpMulI, OpAndI, OpOrI, OpXorI, OpShlI, OpShrI:
-		fmt.Fprintf(&b, "%s %s=%s,%d", i.Op, i.Def, i.A, i.Imm)
-	case OpNeg, OpNot:
-		fmt.Fprintf(&b, "%s %s=%s", i.Op, i.Def, i.A)
+		b = append(b, i.Op.String()...)
+		b = append(b, ' ')
+		b = appendReg(b, i.Def)
+		b = append(b, '=')
+		b = appendReg(b, i.A)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, i.Imm, 10)
+	case OpNeg, OpNot, OpFNeg, OpFMove, OpFCvt, OpFTrunc:
+		b = append(b, i.Op.String()...)
+		b = append(b, ' ')
+		b = appendReg(b, i.Def)
+		b = append(b, '=')
+		b = appendReg(b, i.A)
 	case OpCmp:
-		fmt.Fprintf(&b, "C %s=%s,%s", i.Def, i.A, i.B)
+		b = append(b, "C "...)
+		b = appendReg(b, i.Def)
+		b = append(b, '=')
+		b = appendReg(b, i.A)
+		b = append(b, ',')
+		b = appendReg(b, i.B)
 	case OpCmpI:
-		fmt.Fprintf(&b, "CI %s=%s,%d", i.Def, i.A, i.Imm)
+		b = append(b, "CI "...)
+		b = appendReg(b, i.Def)
+		b = append(b, '=')
+		b = appendReg(b, i.A)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, i.Imm, 10)
 	case OpLoad:
-		fmt.Fprintf(&b, "L %s=%s", i.Def, i.Mem)
+		b = append(b, "L "...)
+		b = appendReg(b, i.Def)
+		b = append(b, '=')
+		b = i.Mem.appendTo(b)
 	case OpLoadU:
-		fmt.Fprintf(&b, "LU %s,%s=%s", i.Def, i.Def2, i.Mem)
+		b = append(b, "LU "...)
+		b = appendReg(b, i.Def)
+		b = append(b, ',')
+		b = appendReg(b, i.Def2)
+		b = append(b, '=')
+		b = i.Mem.appendTo(b)
 	case OpStore:
-		fmt.Fprintf(&b, "ST %s=%s", i.Mem, i.A)
+		b = append(b, "ST "...)
+		b = i.Mem.appendTo(b)
+		b = append(b, '=')
+		b = appendReg(b, i.A)
 	case OpStoreU:
-		fmt.Fprintf(&b, "STU %s,%s=%s", i.Mem, i.Def2, i.A)
+		b = append(b, "STU "...)
+		b = i.Mem.appendTo(b)
+		b = append(b, ',')
+		b = appendReg(b, i.Def2)
+		b = append(b, '=')
+		b = appendReg(b, i.A)
 	case OpB:
-		fmt.Fprintf(&b, "B %s", i.Target)
+		b = append(b, "B "...)
+		b = append(b, i.Target...)
 	case OpBC:
-		mn := "BF"
 		if i.OnTrue {
-			mn = "BT"
-		}
-		fmt.Fprintf(&b, "%s %s,%s,%s", mn, i.Target, i.A, i.CRBit)
-	case OpBCT:
-		fmt.Fprintf(&b, "BCT %s,%s", i.Target, i.A)
-	case OpFAdd, OpFSub, OpFMul, OpFDiv:
-		fmt.Fprintf(&b, "%s %s=%s,%s", i.Op, i.Def, i.A, i.B)
-	case OpFNeg, OpFMove, OpFCvt, OpFTrunc:
-		fmt.Fprintf(&b, "%s %s=%s", i.Op, i.Def, i.A)
-	case OpFCmp:
-		fmt.Fprintf(&b, "FC %s=%s,%s", i.Def, i.A, i.B)
-	case OpFLoad:
-		fmt.Fprintf(&b, "LF %s=%s", i.Def, i.Mem)
-	case OpFStore:
-		fmt.Fprintf(&b, "STF %s=%s", i.Mem, i.A)
-	case OpCall:
-		if i.Def.Valid() {
-			fmt.Fprintf(&b, "CALL %s=%s", i.Def, i.Target)
+			b = append(b, "BT "...)
 		} else {
-			fmt.Fprintf(&b, "CALL %s", i.Target)
+			b = append(b, "BF "...)
 		}
+		b = append(b, i.Target...)
+		b = append(b, ',')
+		b = appendReg(b, i.A)
+		b = append(b, ',')
+		b = append(b, i.CRBit.String()...)
+	case OpBCT:
+		b = append(b, "BCT "...)
+		b = append(b, i.Target...)
+		b = append(b, ',')
+		b = appendReg(b, i.A)
+	case OpFCmp:
+		b = append(b, "FC "...)
+		b = appendReg(b, i.Def)
+		b = append(b, '=')
+		b = appendReg(b, i.A)
+		b = append(b, ',')
+		b = appendReg(b, i.B)
+	case OpFLoad:
+		b = append(b, "LF "...)
+		b = appendReg(b, i.Def)
+		b = append(b, '=')
+		b = i.Mem.appendTo(b)
+	case OpFStore:
+		b = append(b, "STF "...)
+		b = i.Mem.appendTo(b)
+		b = append(b, '=')
+		b = appendReg(b, i.A)
+	case OpCall:
+		b = append(b, "CALL "...)
+		if i.Def.Valid() {
+			b = appendReg(b, i.Def)
+			b = append(b, '=')
+		}
+		b = append(b, i.Target...)
 		for _, a := range i.CallArgs {
-			fmt.Fprintf(&b, ",%s", a)
+			b = append(b, ',')
+			b = appendReg(b, a)
 		}
 	case OpRet:
 		if i.A.Valid() {
-			fmt.Fprintf(&b, "RET %s", i.A)
+			b = append(b, "RET "...)
+			b = appendReg(b, i.A)
 		} else {
-			b.WriteString("RET")
+			b = append(b, "RET"...)
 		}
 	default:
-		fmt.Fprintf(&b, "%s ?", i.Op)
+		b = append(b, i.Op.String()...)
+		b = append(b, " ?"...)
 	}
-	return b.String()
+	return b
 }

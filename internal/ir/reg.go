@@ -9,7 +9,10 @@
 // written by compares and read by conditional branches.
 package ir
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 // RegClass distinguishes the machine's register files.
 type RegClass uint8
@@ -64,18 +67,26 @@ func CR(n int) Reg { return Reg{Class: ClassCR, Num: int32(n)} }
 func FPR(n int) Reg { return Reg{Class: ClassFPR, Num: int32(n)} }
 
 func (r Reg) String() string {
+	var a [16]byte
+	return string(appendReg(a[:0], r))
+}
+
+// appendReg appends r's assembly name to b and returns it.
+func appendReg(b []byte, r Reg) []byte {
 	if !r.Valid() {
-		return "<none>"
+		return append(b, "<none>"...)
 	}
 	switch r.Class {
 	case ClassGPR:
-		return fmt.Sprintf("r%d", r.Num)
+		b = append(b, 'r')
 	case ClassCR:
-		return fmt.Sprintf("cr%d", r.Num)
+		b = append(b, "cr"...)
 	case ClassFPR:
-		return fmt.Sprintf("f%d", r.Num)
+		b = append(b, 'f')
+	default:
+		b = append(b, r.Class.String()...)
 	}
-	return fmt.Sprintf("%s%d", r.Class, r.Num)
+	return strconv.AppendInt(b, int64(r.Num), 10)
 }
 
 // CRBit selects the condition register bit tested by a conditional branch.

@@ -2,6 +2,7 @@ package machine
 
 import (
 	"fmt"
+	"io"
 	"strings"
 )
 
@@ -13,10 +14,16 @@ import (
 // simulated cycle count is included.
 func (d *Desc) Canonical() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "units=%d/%d/%d", d.NumUnits[Fixed], d.NumUnits[Float], d.NumUnits[Branch])
-	fmt.Fprintf(&sb, " mul=%d div=%d", d.MulTime, d.DivTime)
-	fmt.Fprintf(&sb, " dload=%d dcmpbr=%d dfloat=%d dfcmpbr=%d",
-		d.LoadDelay, d.CmpBranchDelay, d.FloatDelay, d.FloatCmpBranchDelay)
-	fmt.Fprintf(&sb, " takenonly=%t", d.TakenOnlyBranchDelay)
+	d.CanonicalTo(&sb)
 	return sb.String()
+}
+
+// CanonicalTo streams the canonical form into w (typically a hash).
+// Write errors are ignored: the intended sinks cannot fail.
+func (d *Desc) CanonicalTo(w io.Writer) {
+	fmt.Fprintf(w, "units=%d/%d/%d", d.NumUnits[Fixed], d.NumUnits[Float], d.NumUnits[Branch])
+	fmt.Fprintf(w, " mul=%d div=%d", d.MulTime, d.DivTime)
+	fmt.Fprintf(w, " dload=%d dcmpbr=%d dfloat=%d dfcmpbr=%d",
+		d.LoadDelay, d.CmpBranchDelay, d.FloatDelay, d.FloatCmpBranchDelay)
+	fmt.Fprintf(w, " takenonly=%t", d.TakenOnlyBranchDelay)
 }

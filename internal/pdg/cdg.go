@@ -9,7 +9,8 @@ package pdg
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"strconv"
 	"strings"
 
 	"gsched/internal/cfg"
@@ -31,53 +32,91 @@ func (c CtrlDep) String() string {
 	return fmt.Sprintf("(BL%d,%s)", c.Node+1, cond)
 }
 
-// CDG is the forward control dependence subgraph of a region.
+// CDG is the forward control dependence subgraph of a region. Deps and
+// Succs are indexed by block number in the parent graph; rows of blocks
+// outside the region are nil.
 type CDG struct {
 	// Deps[b] is the control dependence set of block b, sorted.
-	Deps map[int][]CtrlDep
+	Deps [][]CtrlDep
 	// Succs[a] lists blocks directly control dependent on a (the CSPDG
 	// children), sorted, without duplicates.
-	Succs map[int][]int
+	Succs [][]int
+	// nodes are the region's blocks, ascending (aliases the subgraph's
+	// node list).
+	nodes []int
+	// keys[b] is the precomputed canonical control-dependence string of
+	// block b; all keys share one backing string.
+	keys []string
 }
 
 // BuildCDG computes forward control dependences over the region's forward
 // subgraph sg using its postdominator tree.
 func BuildCDG(sg *cfg.Subgraph, pdom *cfg.PostDomTree) *CDG {
-	c := &CDG{Deps: make(map[int][]CtrlDep), Succs: make(map[int][]int)}
-	for _, u := range sg.Nodes {
-		c.Deps[u] = nil
+	n := sg.G.N()
+	c := &CDG{
+		Deps:  make([][]CtrlDep, n),
+		Succs: make([][]int, n),
+		nodes: sg.Nodes,
+		keys:  make([]string, n),
 	}
-	for _, a := range sg.Nodes {
-		for label, b := range sg.Succs[a] {
-			if pdom.PostDominates(b, a) {
-				continue
-			}
-			// Every node on the postdominator-tree path from b up to
-			// (exclusive) ipdom(a) is control dependent on (a, label).
-			stop := pdom.Ipdom(a)
-			for n := b; n != stop && n != pdom.VirtualExit; n = pdom.Ipdom(n) {
-				c.Deps[n] = append(c.Deps[n], CtrlDep{Node: a, Label: label})
-				if n == pdom.Ipdom(n) {
-					break // defensive: malformed tree
+	// Walk the dependence-generating edges twice: once to count rows, once
+	// to fill them, so every row is carved from a single backing array.
+	walk := func(visit func(m int, d CtrlDep)) {
+		for _, a := range sg.Nodes {
+			for label, b := range sg.Succs[a] {
+				if pdom.PostDominates(b, a) {
+					continue
+				}
+				// Every node on the postdominator-tree path from b up to
+				// (exclusive) ipdom(a) is control dependent on (a, label).
+				stop := pdom.Ipdom(a)
+				for m := b; m != stop && m != pdom.VirtualExit; m = pdom.Ipdom(m) {
+					visit(m, CtrlDep{Node: a, Label: label})
+					if m == pdom.Ipdom(m) {
+						break // defensive: malformed tree
+					}
 				}
 			}
 		}
 	}
-	for b, deps := range c.Deps {
-		sort.Slice(deps, func(i, j int) bool {
-			if deps[i].Node != deps[j].Node {
-				return deps[i].Node < deps[j].Node
+	ndeps := make([]int, n)
+	total := 0
+	walk(func(m int, _ CtrlDep) { ndeps[m]++; total++ })
+	depBacking := make([]CtrlDep, total)
+	for i := 0; i < n; i++ {
+		if ndeps[i] > 0 {
+			c.Deps[i], depBacking = depBacking[:0:ndeps[i]], depBacking[ndeps[i]:]
+		}
+	}
+	walk(func(m int, d CtrlDep) { c.Deps[m] = append(c.Deps[m], d) })
+
+	nsucc := make([]int, n)
+	for _, b := range sg.Nodes {
+		deps := c.Deps[b]
+		slices.SortFunc(deps, func(x, y CtrlDep) int {
+			if x.Node != y.Node {
+				return x.Node - y.Node
 			}
-			return deps[i].Label < deps[j].Label
+			return x.Label - y.Label
 		})
-		c.Deps[b] = deps
 		for _, d := range deps {
+			nsucc[d.Node]++
+		}
+	}
+	succBacking := make([]int, total)
+	for i := 0; i < n; i++ {
+		if nsucc[i] > 0 {
+			c.Succs[i], succBacking = succBacking[:0:nsucc[i]], succBacking[nsucc[i]:]
+		}
+	}
+	for _, b := range sg.Nodes {
+		for _, d := range c.Deps[b] {
 			c.Succs[d.Node] = append(c.Succs[d.Node], b)
 		}
 	}
-	for a := range c.Succs {
+	for _, a := range sg.Nodes {
 		s := c.Succs[a]
-		sort.Ints(s)
+		slices.Sort(s)
 		// Deduplicate (a block can depend on the same controller once
 		// per label, but as a CSPDG child it appears once).
 		out := s[:0]
@@ -88,17 +127,35 @@ func BuildCDG(sg *cfg.Subgraph, pdom *cfg.PostDomTree) *CDG {
 		}
 		c.Succs[a] = out
 	}
+
+	// Precompute the canonical keys: all spans of one shared string.
+	var buf []byte
+	start := make([]int, n)
+	end := make([]int, n)
+	for _, u := range sg.Nodes {
+		start[u] = len(buf)
+		for _, d := range c.Deps[u] {
+			buf = strconv.AppendInt(buf, int64(d.Node), 10)
+			buf = append(buf, '/')
+			buf = strconv.AppendInt(buf, int64(d.Label), 10)
+			buf = append(buf, ';')
+		}
+		end[u] = len(buf)
+	}
+	all := string(buf)
+	for _, u := range sg.Nodes {
+		c.keys[u] = all[start[u]:end[u]]
+	}
 	return c
 }
 
 // Key returns a canonical string for b's control dependence set, used to
 // find identically control dependent blocks.
 func (c *CDG) Key(b int) string {
-	var sb strings.Builder
-	for _, d := range c.Deps[b] {
-		fmt.Fprintf(&sb, "%d/%d;", d.Node, d.Label)
+	if b < len(c.keys) {
+		return c.keys[b]
 	}
-	return sb.String()
+	return ""
 }
 
 // SpecDegree returns the number of branches gambled on when moving code
@@ -131,13 +188,8 @@ func (c *CDG) SpecDegree(a, b int) int {
 
 // String renders the CSPDG in the style of Figure 4.
 func (c *CDG) String() string {
-	var nodes []int
-	for b := range c.Deps {
-		nodes = append(nodes, b)
-	}
-	sort.Ints(nodes)
 	var sb strings.Builder
-	for _, b := range nodes {
+	for _, b := range c.nodes {
 		fmt.Fprintf(&sb, "BL%d:", b+1)
 		if len(c.Deps[b]) == 0 {
 			sb.WriteString(" -")

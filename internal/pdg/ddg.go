@@ -66,26 +66,55 @@ type DDG struct {
 	pending []DepEdge // construction buffer, consumed by finalize
 }
 
-func newDDG(base, numIDs, edgeHint int) *DDG {
-	return &DDG{
-		Succs:   make([][]DepEdge, numIDs),
-		Preds:   make([][]DepEdge, numIDs),
-		base:    base,
-		pending: make([]DepEdge, 0, edgeHint),
-	}
+// Builder constructs DDGs repeatedly, reusing every construction arena
+// between builds: the adjacency headers and edge backing of the graph
+// itself, the per-block def/use indexes, and the register lookup map.
+// A builder serves one goroutine at a time; the graph returned by a
+// build aliases the builder's arenas and is valid until the next build
+// on the same builder.
+type Builder struct {
+	ddg          DDG
+	nsucc, npred []int32
+	backing      []DepEdge
+	bis          []*blockIndex
+	byReg        map[uint64]int32 // packed reg -> index into current blockIndex
+	touches      []instrTouch
 }
 
-func (d *DDG) add(e DepEdge) {
-	d.pending = append(d.pending, e)
-	d.Edges++
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{byReg: make(map[uint64]int32)}
+}
+
+// reset prepares the builder's graph for a fresh build covering numIDs
+// instruction IDs starting at base.
+func (b *Builder) reset(base, numIDs, edgeHint int) *DDG {
+	d := &b.ddg
+	if cap(d.Succs) < numIDs {
+		d.Succs = make([][]DepEdge, numIDs)
+		d.Preds = make([][]DepEdge, numIDs)
+	} else {
+		d.Succs = d.Succs[:numIDs]
+		d.Preds = d.Preds[:numIDs]
+		clear(d.Succs)
+		clear(d.Preds)
+	}
+	d.base = base
+	d.Edges = 0
+	if cap(d.pending) < edgeHint {
+		d.pending = make([]DepEdge, 0, edgeHint)
+	} else {
+		d.pending = d.pending[:0]
+	}
+	return d
 }
 
 // finalize builds the adjacency lists from the collected edges: one
 // counting pass sizes every per-instruction list exactly, then two
-// backing arrays are carved into the lists. Emission order is preserved,
-// and the whole graph costs a handful of allocations instead of one
-// append-growth chain per instruction.
-func (d *DDG) finalize() {
+// backing arrays (reused between builds) are carved into the lists.
+// Emission order is preserved, and a steady-state graph costs no
+// allocations at all.
+func (b *Builder) finalize(d *DDG) {
 	maxIdx := len(d.Succs) - 1
 	for i := range d.pending {
 		e := &d.pending[i]
@@ -100,29 +129,42 @@ func (d *DDG) finalize() {
 		d.Succs = make([][]DepEdge, maxIdx+1)
 		d.Preds = make([][]DepEdge, maxIdx+1)
 	}
-	nsucc := make([]int32, maxIdx+1)
-	npred := make([]int32, maxIdx+1)
+	if cap(b.nsucc) < maxIdx+1 {
+		b.nsucc = make([]int32, maxIdx+1)
+		b.npred = make([]int32, maxIdx+1)
+	}
+	nsucc, npred := b.nsucc[:maxIdx+1], b.npred[:maxIdx+1]
+	clear(nsucc)
+	clear(npred)
 	for i := range d.pending {
 		nsucc[d.pending[i].From.ID-d.base]++
 		npred[d.pending[i].To.ID-d.base]++
 	}
-	backing := make([]DepEdge, 2*len(d.pending))
+	if cap(b.backing) < 2*len(d.pending) {
+		b.backing = make([]DepEdge, 2*len(d.pending))
+	}
+	backing := b.backing[:2*len(d.pending)]
 	succBacking, predBacking := backing[:len(d.pending)], backing[len(d.pending):]
 	off := 0
 	for idx, c := range nsucc {
-		d.Succs[idx] = succBacking[off:off : off+int(c)]
+		d.Succs[idx] = succBacking[off : off : off+int(c)]
 		off += int(c)
 	}
 	off = 0
 	for idx, c := range npred {
-		d.Preds[idx] = predBacking[off:off : off+int(c)]
+		d.Preds[idx] = predBacking[off : off : off+int(c)]
 		off += int(c)
 	}
 	for _, e := range d.pending {
 		d.Succs[e.From.ID-d.base] = append(d.Succs[e.From.ID-d.base], e)
 		d.Preds[e.To.ID-d.base] = append(d.Preds[e.To.ID-d.base], e)
 	}
-	d.pending = nil
+	d.pending = d.pending[:0]
+}
+
+func (d *DDG) add(e DepEdge) {
+	d.pending = append(d.pending, e)
+	d.Edges++
 }
 
 // SuccsOf returns the outgoing edges of the instruction with the given
@@ -205,6 +247,33 @@ type blockIndex struct {
 	regs    []ir.Reg
 	touches []*regTouches
 	mems    []*ir.Instr
+
+	// slab holds the regTouches objects handed out by getTouch. Each is
+	// allocated once and reused across builds (entries reset, pointer
+	// stable), so steady-state indexing allocates nothing.
+	slab     []*regTouches
+	slabUsed int
+}
+
+func (bi *blockIndex) reset() {
+	bi.regs = bi.regs[:0]
+	bi.touches = bi.touches[:0]
+	bi.mems = bi.mems[:0]
+	bi.slabUsed = 0
+}
+
+func (bi *blockIndex) getTouch() *regTouches {
+	if bi.slabUsed < len(bi.slab) {
+		rt := bi.slab[bi.slabUsed]
+		bi.slabUsed++
+		rt.entries = rt.entries[:0]
+		rt.defEntries = rt.defEntries[:0]
+		return rt
+	}
+	rt := &regTouches{}
+	bi.slab = append(bi.slab, rt)
+	bi.slabUsed++
+	return rt
 }
 
 // regLess orders registers by (class, number) for the merge join.
@@ -263,20 +332,21 @@ type instrTouch struct {
 	def, use bool
 }
 
-// indexBlock builds the def/use index of blk. When d is non-nil it also
-// emits the block's intra-block dependence edges along the way: each new
-// instruction is paired against the earlier touches of its registers
-// (all of them when it writes, writers only when it merely reads), and
-// against earlier memory references.
-func indexBlock(blk *ir.Block, mach *machine.Desc, d *DDG) *blockIndex {
-	bi := &blockIndex{}
+// indexBlock builds the def/use index of blk into bi. When d is non-nil
+// it also emits the block's intra-block dependence edges along the way:
+// each new instruction is paired against the earlier touches of its
+// registers (all of them when it writes, writers only when it merely
+// reads), and against earlier memory references.
+func (b *Builder) indexBlock(bi *blockIndex, blk *ir.Block, mach *machine.Desc, d *DDG) {
+	bi.reset()
 	// Registers are found via a packed-key map during the single walk
-	// (integer keys hit the runtime's fast map path); the map is discarded
-	// afterwards in favour of the sorted parallel arrays.
-	byReg := make(map[uint64]*regTouches)
+	// (integer keys hit the runtime's fast map path); the map is consulted
+	// only during the walk, the sorted parallel arrays serve afterwards.
+	clear(b.byReg)
+	byReg := b.byReg
 	packReg := func(r ir.Reg) uint64 { return uint64(r.Class)<<32 | uint64(uint32(r.Num)) }
 	var regBuf [8]ir.Reg
-	var touches []instrTouch
+	touches := b.touches
 	for _, ins := range blk.Instrs {
 		touches = touches[:0]
 		for _, r := range ins.Uses(regBuf[:0]) {
@@ -307,10 +377,12 @@ func indexBlock(blk *ir.Block, mach *machine.Desc, d *DDG) *blockIndex {
 		}
 		for _, t := range touches {
 			key := packReg(t.r)
-			rt := byReg[key]
-			if rt == nil {
-				rt = &regTouches{}
-				byReg[key] = rt
+			var rt *regTouches
+			if ti, ok := byReg[key]; ok {
+				rt = bi.touches[ti]
+			} else {
+				rt = bi.getTouch()
+				byReg[key] = int32(len(bi.touches))
 				bi.regs = append(bi.regs, t.r)
 				bi.touches = append(bi.touches, rt)
 			}
@@ -349,8 +421,8 @@ func indexBlock(blk *ir.Block, mach *machine.Desc, d *DDG) *blockIndex {
 			bi.mems = append(bi.mems, ins)
 		}
 	}
+	b.touches = touches[:0]
 	bi.sortRegs()
-	return bi
 }
 
 // interBlockEdges emits the dependence edges from block index a to a
@@ -406,34 +478,52 @@ func interBlockEdges(a, b *blockIndex, mach *machine.Desc, d *DDG) {
 // only instructions touching a common register (or memory) are paired,
 // so the work is proportional to the edges produced.
 func BuildDDG(f *ir.Func, blocks []int, reach *cfg.Reach, mach *machine.Desc) *DDG {
+	return NewBuilder().BuildDDG(f, blocks, reach, mach)
+}
+
+// BuildDDG is the arena-backed form of the package-level BuildDDG: the
+// returned graph aliases the builder's buffers and is valid until the
+// next build on b.
+func (b *Builder) BuildDDG(f *ir.Func, blocks []int, reach *cfg.Reach, mach *machine.Desc) *DDG {
 	n := 0
 	for _, bi := range blocks {
 		n += len(f.Blocks[bi].Instrs)
 	}
-	d := newDDG(0, f.NumInstrIDs(), 4*n)
-	indexes := make(map[int]*blockIndex, len(blocks))
-	for _, bi := range blocks {
-		indexes[bi] = indexBlock(f.Blocks[bi], mach, d)
+	d := b.reset(0, f.NumInstrIDs(), 4*n)
+	for len(b.bis) < len(blocks) {
+		b.bis = append(b.bis, &blockIndex{})
 	}
-	for _, ai := range blocks {
-		for _, bi := range blocks {
-			if ai == bi || !reach.Reaches(ai, bi) {
+	for k, bi := range blocks {
+		b.indexBlock(b.bis[k], f.Blocks[bi], mach, d)
+	}
+	for i, ai := range blocks {
+		for j, bj := range blocks {
+			if ai == bj || !reach.Reaches(ai, bj) {
 				continue
 			}
-			interBlockEdges(indexes[ai], indexes[bi], mach, d)
+			interBlockEdges(b.bis[i], b.bis[j], mach, d)
 		}
 	}
-	d.finalize()
+	b.finalize(d)
 	return d
 }
 
 // BuildBlockDDG computes the intra-block dependence graph of a single
 // block, used by the basic block scheduler.
 func BuildBlockDDG(blk *ir.Block, mach *machine.Desc) *DDG {
+	return NewBuilder().BuildBlockDDG(blk, mach)
+}
+
+// BuildBlockDDG is the arena-backed form of the package-level
+// BuildBlockDDG.
+func (b *Builder) BuildBlockDDG(blk *ir.Block, mach *machine.Desc) *DDG {
 	lo, hi := instrIDRange(blk)
-	d := newDDG(lo, hi-lo+1, 4*len(blk.Instrs))
-	indexBlock(blk, mach, d)
-	d.finalize()
+	d := b.reset(lo, hi-lo+1, 4*len(blk.Instrs))
+	if len(b.bis) == 0 {
+		b.bis = append(b.bis, &blockIndex{})
+	}
+	b.indexBlock(b.bis[0], blk, mach, d)
+	b.finalize(d)
 	return d
 }
 
@@ -480,16 +570,33 @@ func (h *HeightVals) CP(id int) int { return h.cp[id-h.base] }
 //	D(I)  = max over successors J of D(J) + d(I,J)            (delay heuristic)
 //	CP(I) = max over successors J of CP(J) + d(I,J), + E(I)   (critical path)
 func Heights(blk *ir.Block, ddg *DDG, mach *machine.Desc) HeightVals {
+	var h HeightVals
+	HeightsInto(&h, blk, ddg, mach)
+	return h
+}
+
+// HeightsInto is Heights computing into h, reusing its arrays when they
+// are large enough. The scheduler keeps one HeightVals per block in its
+// per-worker scratch, so steady-state height computation allocates
+// nothing.
+func HeightsInto(h *HeightVals, blk *ir.Block, ddg *DDG, mach *machine.Desc) {
 	lo, hi := instrIDRange(blk)
 	n := hi - lo + 1
 	if n < 0 {
 		n = 0
 	}
-	h := HeightVals{
-		base:  lo,
-		d:     make([]int, n),
-		cp:    make([]int, n),
-		inBlk: make([]bool, n),
+	h.base = lo
+	if cap(h.d) < n {
+		h.d = make([]int, n)
+		h.cp = make([]int, n)
+		h.inBlk = make([]bool, n)
+	} else {
+		h.d = h.d[:n]
+		h.cp = h.cp[:n]
+		h.inBlk = h.inBlk[:n]
+		clear(h.d)
+		clear(h.cp)
+		clear(h.inBlk)
 	}
 	for _, i := range blk.Instrs {
 		h.inBlk[i.ID-lo] = true
@@ -514,5 +621,4 @@ func Heights(blk *ir.Block, ddg *DDG, mach *machine.Desc) HeightVals {
 		h.d[i.ID-lo] = dv
 		h.cp[i.ID-lo] = cp + mach.Exec(i.Op)
 	}
-	return h
 }

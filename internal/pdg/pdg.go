@@ -25,14 +25,34 @@ type PDG struct {
 	DDG     *DDG
 
 	// equivAll[b] lists all blocks identically control dependent with b
-	// (excluding b), sorted.
-	equivAll map[int][]int
+	// (excluding b), sorted; indexed by block number, nil outside the
+	// region.
+	equivAll [][]int
+	// equivDom[b] is EQUIV(b) per Definition 3 — the members of
+	// equivAll[b] dominated by b that postdominate b — precomputed so the
+	// scheduler's repeated Equiv calls allocate nothing.
+	equivDom [][]int
+
+	// b is the DDG builder this PDG was assembled with; RebuildDDG
+	// reuses its arenas. Non-nil.
+	b *Builder
 }
 
 // Build assembles the PDG of a region. blocks should be the region's
 // blocks (r.Blocks); the DDG always covers all of them so instructions of
 // nested regions participate as immovable dependence sources and sinks.
 func Build(f *ir.Func, g *cfg.Graph, li *cfg.LoopInfo, r *cfg.Region, mach *machine.Desc) (*PDG, error) {
+	return BuildWith(nil, f, g, li, r, mach)
+}
+
+// BuildWith is Build constructing the region's DDG with the given
+// builder (nil for a fresh one). The resulting graph aliases the
+// builder's arenas: the PDG is valid until the next build on the same
+// builder.
+func BuildWith(b *Builder, f *ir.Func, g *cfg.Graph, li *cfg.LoopInfo, r *cfg.Region, mach *machine.Desc) (*PDG, error) {
+	if b == nil {
+		b = NewBuilder()
+	}
 	sg := g.Forward(r.Blocks, r.Header, li.IsBackEdge)
 	topo, err := sg.Topological()
 	if err != nil {
@@ -51,7 +71,7 @@ func Build(f *ir.Func, g *cfg.Graph, li *cfg.LoopInfo, r *cfg.Region, mach *mach
 		return v == r.Header && li.IsBackEdge(u, v)
 	})
 	reach := depView.ReachableFrom()
-	ddg := BuildDDG(f, r.Blocks, reach, mach)
+	ddg := b.BuildDDG(f, r.Blocks, reach, mach)
 	// Sessions must follow CFG-path order (§5.1), which the dependence
 	// view's condensation provides: a block after a nested loop is
 	// processed after every block of that loop, even when the layout
@@ -59,24 +79,47 @@ func Build(f *ir.Func, g *cfg.Graph, li *cfg.LoopInfo, r *cfg.Region, mach *mach
 	topo = depView.CondensationOrder()
 
 	p := &PDG{
-		F: f, G: g, Region: r,
+		F: f, G: g, Region: r, b: b,
 		Forward: sg, Topo: topo,
 		Dom: li.Dom(), PDom: pdom,
 		CDG: cdg, Reach: reach, DDG: ddg,
-		equivAll: make(map[int][]int),
+		equivAll: make([][]int, g.N()),
+		equivDom: make([][]int, g.N()),
 	}
-	byKey := make(map[string][]int)
+	byKey := make(map[string][]int, len(r.Blocks))
 	for _, b := range r.Blocks {
 		k := cdg.Key(b)
 		byKey[k] = append(byKey[k], b)
 	}
+	// Both equivalence tables are carved from single backing arrays:
+	// every block of a k-member group contributes k-1 entries.
+	total := 0
+	for _, group := range byKey {
+		total += len(group) * (len(group) - 1)
+	}
+	backing := make([]int, 2*total)
+	allB, domB := backing[:total], backing[total:]
 	for _, group := range byKey {
 		sort.Ints(group)
 		for _, b := range group {
+			row := allB[: 0 : len(group)-1]
+			allB = allB[len(group)-1:]
+			dom := domB[: 0 : len(group)-1]
+			domB = domB[len(group)-1:]
 			for _, o := range group {
-				if o != b {
-					p.equivAll[b] = append(p.equivAll[b], o)
+				if o == b {
+					continue
 				}
+				row = append(row, o)
+				if p.Dom.Dominates(b, o) && p.PDom.PostDominates(o, b) {
+					dom = append(dom, o)
+				}
+			}
+			if len(row) > 0 {
+				p.equivAll[b] = row
+			}
+			if len(dom) > 0 {
+				p.equivDom[b] = dom
 			}
 		}
 	}
@@ -88,7 +131,7 @@ func Build(f *ir.Func, g *cfg.Graph, li *cfg.LoopInfo, r *cfg.Region, mach *mach
 // instructions that the original DDG does not know; callers must rebuild
 // before any later session consults dependences.
 func (p *PDG) RebuildDDG(mach *machine.Desc) {
-	p.DDG = BuildDDG(p.F, p.Region.Blocks, p.Reach, mach)
+	p.DDG = p.b.BuildDDG(p.F, p.Region.Blocks, p.Reach, mach)
 }
 
 // Equivalent reports whether blocks a and b are equivalent (Definition 3:
@@ -107,15 +150,13 @@ func (p *PDG) Equivalent(a, b int) bool {
 }
 
 // Equiv returns EQUIV(A): the blocks equivalent to a and dominated by a
-// (the candidates for useful motion into a), sorted ascending.
+// (the candidates for useful motion into a), sorted ascending. The
+// result is precomputed at build time; callers must not modify it.
 func (p *PDG) Equiv(a int) []int {
-	var out []int
-	for _, b := range p.equivAll[a] {
-		if p.Dom.Dominates(a, b) && p.PDom.PostDominates(b, a) {
-			out = append(out, b)
-		}
+	if a < 0 || a >= len(p.equivDom) {
+		return nil
 	}
-	return out
+	return p.equivDom[a]
 }
 
 // SpecCandidates returns the additional candidate blocks for 1-branch
@@ -130,13 +171,14 @@ func (p *PDG) SpecCandidates(a int) []int { return p.SpecCandidatesN(a, 1) }
 // EQUIV(a). The paper implements n = 1 and leaves larger n as future
 // work; both are supported here.
 func (p *PDG) SpecCandidatesN(a, n int) []int {
+	eq := p.Equiv(a)
 	seen := map[int]bool{a: true}
-	for _, b := range p.Equiv(a) {
+	for _, b := range eq {
 		seen[b] = true
 	}
-	frontier := make([]int, 0, 1+len(p.Equiv(a)))
+	frontier := make([]int, 0, 1+len(eq))
 	frontier = append(frontier, a)
-	frontier = append(frontier, p.Equiv(a)...)
+	frontier = append(frontier, eq...)
 	var out []int
 	for depth := 0; depth < n; depth++ {
 		var next []int

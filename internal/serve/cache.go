@@ -13,10 +13,23 @@ import (
 // even if their textual sources differ.
 type Key [32]byte
 
+// entryOverhead approximates the fixed per-entry bookkeeping bytes
+// beyond key and body: the cacheEntry header, the list.Element, and the
+// entry's share of the map buckets. Charging it keeps the byte cap
+// honest for workloads of many tiny responses, where the raw body bytes
+// undercount real memory by an order of magnitude.
+const entryOverhead = 128
+
+// entryCost is what one cached body charges against the byte cap.
+func entryCost(body []byte) int64 {
+	return int64(len(body)) + int64(len(Key{})) + entryOverhead
+}
+
 // Cache is a bounded, LRU-evicting, content-addressed store of finished
 // response bodies. All methods are safe for concurrent use. Eviction is
-// by total body bytes, not entry count: scheduling results vary from a
-// few hundred bytes to hundreds of kilobytes, so a byte cap is the only
+// by total accounted bytes — body plus key plus fixed per-entry
+// overhead — not entry count: scheduling results vary from a few
+// hundred bytes to hundreds of kilobytes, so a byte cap is the only
 // meaningful memory bound.
 type Cache struct {
 	mu       sync.Mutex
@@ -35,8 +48,8 @@ type cacheEntry struct {
 	body []byte
 }
 
-// NewCache returns a cache bounded to maxBytes of stored bodies.
-// maxBytes <= 0 means unbounded.
+// NewCache returns a cache bounded to maxBytes of accounted entry
+// bytes. maxBytes <= 0 means unbounded.
 func NewCache(maxBytes int64) *Cache {
 	return &Cache{
 		maxBytes: maxBytes,
@@ -63,13 +76,27 @@ func (c *Cache) Get(key Key) ([]byte, bool) {
 	return el.Value.(*cacheEntry).body, true
 }
 
+// Peek is Get without counters or LRU movement: a second-chance lookup
+// for callers that already counted a miss for this request (the
+// single-flight leader re-checks after acquiring a worker slot, in case
+// an earlier flight stored the entry meanwhile).
+func (c *Cache) Peek(key Key) ([]byte, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*cacheEntry).body, true
+}
+
 // Put stores body under key, evicting least-recently-used entries until
-// the byte cap holds. A body larger than the whole cap is not stored.
-// Storing an existing key refreshes its position but keeps the first
-// body: results are deterministic in the key, so both bodies are
-// identical by construction.
+// the byte cap holds. A body whose accounted cost exceeds the whole cap
+// is not stored. Storing an existing key refreshes its position but
+// keeps the first body: results are deterministic in the key, so both
+// bodies are identical by construction.
 func (c *Cache) Put(key Key, body []byte) {
-	if c.maxBytes > 0 && int64(len(body)) > c.maxBytes {
+	if c.maxBytes > 0 && entryCost(body) > c.maxBytes {
 		return
 	}
 	c.mu.Lock()
@@ -79,7 +106,7 @@ func (c *Cache) Put(key Key, body []byte) {
 		return
 	}
 	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, body: body})
-	c.bytes += int64(len(body))
+	c.bytes += entryCost(body)
 	for c.maxBytes > 0 && c.bytes > c.maxBytes {
 		last := c.lru.Back()
 		if last == nil {
@@ -88,7 +115,7 @@ func (c *Cache) Put(key Key, body []byte) {
 		e := last.Value.(*cacheEntry)
 		c.lru.Remove(last)
 		delete(c.entries, e.key)
-		c.bytes -= int64(len(e.body))
+		c.bytes -= entryCost(e.body)
 		c.evictions.Add(1)
 	}
 }
@@ -102,7 +129,8 @@ type CacheStats struct {
 	Entries   int
 }
 
-// Stats snapshots the counters and current size.
+// Stats snapshots the counters and current size. Bytes is the
+// accounted size (bodies plus keys plus per-entry overhead).
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	bytes, entries := c.bytes, len(c.entries)
@@ -114,4 +142,47 @@ func (c *Cache) Stats() CacheStats {
 		Bytes:     bytes,
 		Entries:   entries,
 	}
+}
+
+// flight is one in-progress computation of a content key. The leader
+// closes done after publishing body/err; followers read them after.
+type flight struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// flightGroup collapses concurrent identical cache misses onto a single
+// pipeline run (single-flight). The first caller of a key becomes the
+// leader and computes; the rest wait for its result. Results are not
+// retained past the flight — the cache is the durable store.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[Key]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flights: make(map[Key]*flight)}
+}
+
+// join returns the flight for key and whether the caller is its leader.
+// The leader MUST call leave with the result when done, even on error.
+func (g *flightGroup) join(key Key) (*flight, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if fl, ok := g.flights[key]; ok {
+		return fl, false
+	}
+	fl := &flight{done: make(chan struct{})}
+	g.flights[key] = fl
+	return fl, true
+}
+
+// leave publishes the leader's result and wakes the followers.
+func (g *flightGroup) leave(key Key, fl *flight, body []byte, err error) {
+	g.mu.Lock()
+	delete(g.flights, key)
+	g.mu.Unlock()
+	fl.body, fl.err = body, err
+	close(fl.done)
 }

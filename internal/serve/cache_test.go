@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"net/http"
 	"testing"
@@ -112,5 +113,53 @@ func TestCacheHitAcrossEquivalentSources(t *testing.T) {
 	}
 	if r2.Header.Get("X-Cache") != "hit" {
 		t.Errorf("equivalent source missed the cache (X-Cache %q)", r2.Header.Get("X-Cache"))
+	}
+}
+
+// TestCacheEvictionUnderPressure pins the accounted-bytes eviction
+// policy: entries charge body + key + fixed overhead, so a cap that
+// would hold every raw body must still evict once the accounted sizes
+// overflow, and the accounted total must never exceed the cap.
+func TestCacheEvictionUnderPressure(t *testing.T) {
+	const cap = 1024
+	body := bytes.Repeat([]byte{'x'}, 48)
+	// 10 bodies are 480 raw bytes — under the cap — but each entry
+	// accounts 48+32+128 = 208 bytes, so only four fit.
+	if cost := entryCost(body); cost != 208 {
+		t.Fatalf("entryCost(48-byte body) = %d, want 208", cost)
+	}
+	c := NewCache(cap)
+	var keys [10]Key
+	for i := range keys {
+		keys[i][0] = byte(i)
+		c.Put(keys[i], body)
+	}
+
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Error("no evictions despite accounted overflow")
+	}
+	if st.Bytes > cap {
+		t.Errorf("accounted bytes %d exceed the %d cap", st.Bytes, cap)
+	}
+	if want := int(cap / entryCost(body)); st.Entries != want {
+		t.Errorf("entries = %d, want %d", st.Entries, want)
+	}
+	if _, ok := c.Peek(keys[len(keys)-1]); !ok {
+		t.Error("newest entry was evicted")
+	}
+	if _, ok := c.Peek(keys[0]); ok {
+		t.Error("oldest entry survived LRU eviction")
+	}
+
+	// A body whose accounted cost alone exceeds the cap is refused, and
+	// refusing it neither evicts nor changes the accounted size.
+	before := c.Stats()
+	c.Put(Key{0xff}, bytes.Repeat([]byte{'y'}, cap))
+	if _, ok := c.Peek(Key{0xff}); ok {
+		t.Error("oversized body was cached")
+	}
+	if after := c.Stats(); after.Bytes != before.Bytes || after.Evictions != before.Evictions {
+		t.Errorf("refused Put changed state: %+v -> %+v", before, after)
 	}
 }

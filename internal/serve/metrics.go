@@ -46,21 +46,27 @@ type Metrics struct {
 	// Gauges are sampled at scrape time from the live server state.
 	queueDepth func() int64
 	inflight   func() int64
+	// Counters sampled the same way: actual pipeline executions and
+	// single-flight waits. runs < misses means collapsed duplicate work.
+	scheduleRuns func() int64
+	sfWaits      func() int64
 
 	cache *Cache
 	trace *core.Trace
 }
 
 // NewMetrics returns an empty registry. cache and trace may be nil;
-// queueDepth and inflight may be nil for servers without a pool.
-func NewMetrics(cache *Cache, trace *core.Trace, queueDepth, inflight func() int64) *Metrics {
+// the sampling funcs may be nil for servers without a pool.
+func NewMetrics(cache *Cache, trace *core.Trace, queueDepth, inflight, scheduleRuns, sfWaits func() int64) *Metrics {
 	return &Metrics{
-		requests:   make(map[string]map[int]int64),
-		latencies:  make(map[string]*histogram),
-		cache:      cache,
-		trace:      trace,
-		queueDepth: queueDepth,
-		inflight:   inflight,
+		requests:     make(map[string]map[int]int64),
+		latencies:    make(map[string]*histogram),
+		cache:        cache,
+		trace:        trace,
+		queueDepth:   queueDepth,
+		inflight:     inflight,
+		scheduleRuns: scheduleRuns,
+		sfWaits:      sfWaits,
 	}
 }
 
@@ -147,6 +153,14 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	if m.inflight != nil {
 		fmt.Fprintf(cw, "# HELP gschedd_inflight Requests currently scheduling.\n# TYPE gschedd_inflight gauge\n")
 		fmt.Fprintf(cw, "gschedd_inflight %d\n", m.inflight())
+	}
+	if m.scheduleRuns != nil {
+		fmt.Fprintf(cw, "# HELP gschedd_schedule_runs_total Pipeline executions (misses actually computed).\n# TYPE gschedd_schedule_runs_total counter\n")
+		fmt.Fprintf(cw, "gschedd_schedule_runs_total %d\n", m.scheduleRuns())
+	}
+	if m.sfWaits != nil {
+		fmt.Fprintf(cw, "# HELP gschedd_singleflight_waits_total Requests that waited on an identical in-flight run.\n# TYPE gschedd_singleflight_waits_total counter\n")
+		fmt.Fprintf(cw, "gschedd_singleflight_waits_total %d\n", m.sfWaits())
 	}
 
 	if m.trace != nil {

@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
+	"io"
 	"strconv"
 	"strings"
 	"time"
@@ -93,6 +95,30 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
+// BatchRequest is the JSON body of POST /schedule/batch: several
+// independent scheduling units submitted at once. Units share the
+// worker pool, the response cache and the single-flight machinery, so
+// a batch of identical units costs one pipeline run.
+type BatchRequest struct {
+	Units []Request `json:"units"`
+}
+
+// BatchResult is the outcome of one batch unit. Body is byte-identical
+// to what POST /schedule would have returned for the same unit (both
+// paths share the serving pipeline), with the unit's HTTP status and
+// cache disposition lifted into fields.
+type BatchResult struct {
+	Status int             `json:"status"`
+	Cache  string          `json:"cache,omitempty"`
+	Body   json.RawMessage `json:"body"`
+}
+
+// BatchResponse is the JSON body of a /schedule/batch reply; Results
+// aligns index-for-index with the request's Units.
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
+}
+
 // job is a fully resolved request: parsed program, machine, options.
 type job struct {
 	prog     *ir.Program
@@ -101,6 +127,7 @@ type job struct {
 	pipeline bool
 	simulate *SimRequest
 	key      Key
+	canon    []byte        // canonical input assembly, rendered once at resolve
 	timeout  time.Duration // 0 = server default
 	panicd   bool          // debug-panic requested and allowed
 }
@@ -187,6 +214,9 @@ func resolve(req *Request, allowPanic bool) (*job, error) {
 		}
 	}
 	j.panicd = req.DebugPanic && allowPanic
+	var buf bytes.Buffer
+	asm.CanonicalTo(&buf, j.prog)
+	j.canon = buf.Bytes()
 	j.key = contentKey(j)
 	return j, nil
 }
@@ -241,16 +271,19 @@ func machineByName(name string) (*machine.Desc, error) {
 
 // contentKey hashes everything that can change the response body:
 // the canonical program, the canonical machine, and the semantic
-// scheduling options. Parallelism is deliberately excluded (schedules
-// are pinned identical at every setting); the Verify flag is included
-// because it changes which requests fail.
+// scheduling options. The machine and options stream straight into the
+// digest (CanonicalTo / canonOptionsTo); the program's canonical text
+// was rendered once at resolve time because the panic reproducer needs
+// it too. Parallelism is deliberately excluded (schedules are pinned
+// identical at every setting); the Verify flag is included because it
+// changes which requests fail.
 func contentKey(j *job) Key {
 	h := sha256.New()
-	h.Write([]byte(asm.Canonical(j.prog)))
+	h.Write(j.canon)
 	h.Write([]byte{0})
-	h.Write([]byte(j.mach.Canonical()))
+	j.mach.CanonicalTo(h)
 	h.Write([]byte{0})
-	h.Write([]byte(canonOptions(&j.opts, j.pipeline)))
+	canonOptionsTo(h, &j.opts, j.pipeline)
 	if j.simulate != nil {
 		fmt.Fprintf(h, "\x00sim=%s%v", j.simulate.Entry, j.simulate.Args)
 	}
@@ -259,14 +292,22 @@ func contentKey(j *job) Key {
 	return k
 }
 
-// canonOptions renders the semantic scheduling options
-// deterministically. Trace, Profile and Parallelism are excluded: none
-// of them can change the emitted schedule.
-func canonOptions(o *core.Options, pipeline bool) string {
-	return fmt.Sprintf(
+// canonOptionsTo renders the semantic scheduling options
+// deterministically into w (typically a hash). Trace, Profile and
+// Parallelism are excluded: none of them can change the emitted
+// schedule.
+func canonOptionsTo(w io.Writer, o *core.Options, pipeline bool) {
+	fmt.Fprintf(w,
 		"level=%s local=%t rename=%t spec=%d minprob=%g dup=%t loads=%t rb=%d ri=%d rl=%d verify=%t pipeline=%t",
 		o.Level, o.LocalPass, o.Rename, o.SpecDegree, o.MinSpecProb,
 		o.Duplicate, o.SpeculateLoads,
 		o.MaxRegionBlocks, o.MaxRegionInstrs, o.MaxRegionLevels,
 		o.Verify, pipeline)
+}
+
+// canonOptions is canonOptionsTo into a string (reproducer headers).
+func canonOptions(o *core.Options, pipeline bool) string {
+	var sb strings.Builder
+	canonOptionsTo(&sb, o, pipeline)
+	return sb.String()
 }

@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -82,6 +83,7 @@ func (c *Config) defaults() {
 type Server struct {
 	cfg     Config
 	cache   *Cache // nil when caching is disabled
+	flights *flightGroup
 	trace   *core.Trace
 	metrics *Metrics
 	mux     *http.ServeMux
@@ -89,6 +91,8 @@ type Server struct {
 	sem      chan struct{} // worker slots
 	queued   atomic.Int64  // admitted, waiting or running
 	inflight atomic.Int64  // actively scheduling
+	runs     atomic.Int64  // pipeline executions (cache misses actually computed)
+	sfWaits  atomic.Int64  // requests that waited on another's identical run
 
 	// testHook, when non-nil, runs in the worker after a slot is
 	// acquired and before scheduling. Tests use it to hold workers
@@ -100,18 +104,22 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.defaults()
 	s := &Server{
-		cfg:   cfg,
-		trace: &core.Trace{},
-		sem:   make(chan struct{}, cfg.Workers),
+		cfg:     cfg,
+		flights: newFlightGroup(),
+		trace:   &core.Trace{},
+		sem:     make(chan struct{}, cfg.Workers),
 	}
 	if cfg.CacheBytes > 0 {
 		s.cache = NewCache(cfg.CacheBytes)
 	}
 	s.metrics = NewMetrics(s.cache, s.trace,
 		func() int64 { return max(0, s.queued.Load()-s.inflight.Load()) },
-		func() int64 { return s.inflight.Load() })
+		func() int64 { return s.inflight.Load() },
+		func() int64 { return s.runs.Load() },
+		func() int64 { return s.sfWaits.Load() })
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/schedule", s.handleSchedule)
+	s.mux.HandleFunc("/schedule/batch", s.handleScheduleBatch)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -183,14 +191,33 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		s.finish(w, r, start, http.StatusBadRequest, "", errorBody(err.Error()), err.Error())
 		return
 	}
+
+	code, cacheState, resp, errMsg := s.execute(r.Context(), j)
+	if code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	s.finish(w, r, start, code, cacheState, resp, errMsg)
+}
+
+// errQueueWait marks a timeout while waiting for a worker slot, as
+// opposed to one during scheduling.
+var errQueueWait = errors.New("timed out waiting for a worker")
+
+// execute runs one resolved job through the serving pipeline: cache
+// lookup → admission → single-flight collapse → worker slot → schedule
+// → store. It returns the HTTP status, the X-Cache state ("hit",
+// "miss" or ""), the response body, and a log-facing error message.
+// Both POST /schedule and each unit of POST /schedule/batch go through
+// here, which is what makes batch responses byte-identical to their
+// single-request equivalents.
+func (s *Server) execute(parent context.Context, j *job) (code int, cacheState string, body []byte, errMsg string) {
 	j.opts.Trace = s.trace
 
 	// Content-addressed lookup. Hits bypass the pool entirely: they
 	// cost one hash and one map probe, no admission needed.
 	if s.cache != nil {
 		if cached, ok := s.cache.Get(j.key); ok {
-			s.finish(w, r, start, http.StatusOK, "hit", cached, "")
-			return
+			return http.StatusOK, "hit", cached, ""
 		}
 	}
 
@@ -199,10 +226,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	// overload sheds instead of piling up.
 	if s.queued.Add(1) > int64(s.cfg.Workers+s.cfg.QueueDepth) {
 		s.queued.Add(-1)
-		w.Header().Set("Retry-After", "1")
-		s.finish(w, r, start, http.StatusServiceUnavailable, "",
-			errorBody("server saturated"), "saturated")
-		return
+		return http.StatusServiceUnavailable, "", errorBody("server saturated"), "saturated"
 	}
 	defer s.queued.Add(-1)
 
@@ -210,40 +234,150 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	if j.timeout > 0 && j.timeout < timeout {
 		timeout = j.timeout
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	ctx, cancel := context.WithTimeout(parent, timeout)
 	defer cancel()
 
-	select {
-	case s.sem <- struct{}{}:
-	case <-ctx.Done():
-		s.finish(w, r, start, http.StatusGatewayTimeout, "",
-			errorBody("timed out waiting for a worker"), ctx.Err().Error())
-		return
+	// Single-flight: concurrent identical misses collapse onto one
+	// pipeline run. Followers wait without holding a worker slot and
+	// reuse the leader's bytes; they already counted their cache miss
+	// above, so the counters still reconcile (misses = N, runs = 1).
+	fl, leader := s.flights.join(j.key)
+	if !leader {
+		s.sfWaits.Add(1)
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			return http.StatusGatewayTimeout, "",
+				errorBody(errQueueWait.Error()), ctx.Err().Error()
+		}
+		if fl.err == nil {
+			return http.StatusOK, "miss", fl.body, ""
+		}
+		// The leader failed — possibly on its own request's budget,
+		// which says nothing about ours. Run the job ourselves.
 	}
-	s.inflight.Add(1)
-	resp, err := s.runJob(ctx, j)
-	s.inflight.Add(-1)
-	<-s.sem
+
+	resp, err := s.acquireAndRun(ctx, j)
+	if leader {
+		s.flights.leave(j.key, fl, resp, err)
+	}
 
 	switch {
 	case err == nil:
-		if s.cache != nil {
-			s.cache.Put(j.key, resp)
-		}
-		s.finish(w, r, start, http.StatusOK, "miss", resp, "")
+		return http.StatusOK, "miss", resp, ""
+	case errors.Is(err, errQueueWait):
+		return http.StatusGatewayTimeout, "", errorBody(errQueueWait.Error()), err.Error()
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		s.finish(w, r, start, http.StatusGatewayTimeout, "",
-			errorBody("scheduling exceeded the request budget"), err.Error())
+		return http.StatusGatewayTimeout, "",
+			errorBody("scheduling exceeded the request budget"), err.Error()
 	case isPanic(err):
-		s.finish(w, r, start, http.StatusInternalServerError, "",
-			errorBody("internal error (reproducer logged)"), err.Error())
+		return http.StatusInternalServerError, "",
+			errorBody("internal error (reproducer logged)"), err.Error()
 	default:
 		// Schedule- or simulation-time failures on well-formed input:
 		// verifier rejections, simulator faults. Client-visible, not a
 		// crash, so 422 keeps 5xx meaning "server bug".
-		s.finish(w, r, start, http.StatusUnprocessableEntity, "",
-			errorBody(err.Error()), err.Error())
+		return http.StatusUnprocessableEntity, "", errorBody(err.Error()), err.Error()
 	}
+}
+
+// acquireAndRun waits for a worker slot, re-checks the cache (an
+// earlier flight may have stored the entry between our counted miss and
+// now — Peek keeps the counters clean), runs the job, and stores a
+// successful body.
+func (s *Server) acquireAndRun(ctx context.Context, j *job) ([]byte, error) {
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("%w: %w", errQueueWait, ctx.Err())
+	}
+	defer func() { <-s.sem }()
+	if s.cache != nil {
+		if cached, ok := s.cache.Peek(j.key); ok {
+			return cached, nil
+		}
+	}
+	s.inflight.Add(1)
+	s.runs.Add(1)
+	body, err := s.runJob(ctx, j)
+	s.inflight.Add(-1)
+	if err == nil && s.cache != nil {
+		s.cache.Put(j.key, body)
+	}
+	return body, err
+}
+
+// maxBatchUnits bounds how many units one batch request may carry; the
+// request body size cap bounds their total weight.
+const maxBatchUnits = 256
+
+// handleScheduleBatch schedules several independent units in one
+// request: parse → resolve each → run all units concurrently on the
+// worker pool (at most Workers at a time) → one JSON response with a
+// result per unit, in request order. Each unit goes through the same
+// cache lookup, admission, single-flight and scheduling path as a
+// single /schedule request, so its Body is byte-identical to the
+// single-request response.
+func (s *Server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodPost {
+		s.finish(w, r, start, http.StatusMethodNotAllowed, "",
+			errorBody("POST only"), "method not allowed")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.finish(w, r, start, http.StatusRequestEntityTooLarge, "",
+				errorBody(fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes)), err.Error())
+			return
+		}
+		s.finish(w, r, start, http.StatusBadRequest, "", errorBody("read: "+err.Error()), err.Error())
+		return
+	}
+	var req BatchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.finish(w, r, start, http.StatusBadRequest, "", errorBody("json: "+err.Error()), err.Error())
+		return
+	}
+	if len(req.Units) == 0 {
+		s.finish(w, r, start, http.StatusBadRequest, "", errorBody("empty batch"), "empty batch")
+		return
+	}
+	if len(req.Units) > maxBatchUnits {
+		s.finish(w, r, start, http.StatusBadRequest, "",
+			errorBody(fmt.Sprintf("batch exceeds %d units", maxBatchUnits)), "batch too large")
+		return
+	}
+
+	results := make([]BatchResult, len(req.Units))
+	gate := make(chan struct{}, s.cfg.Workers)
+	var wg sync.WaitGroup
+	for i := range req.Units {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			gate <- struct{}{}
+			defer func() { <-gate }()
+			j, err := resolve(&req.Units[i], s.cfg.AllowDebugPanic)
+			if err != nil {
+				results[i] = BatchResult{Status: http.StatusBadRequest, Body: errorBody(err.Error())}
+				return
+			}
+			code, cacheState, unitBody, _ := s.execute(r.Context(), j)
+			results[i] = BatchResult{Status: code, Cache: cacheState, Body: unitBody}
+		}(i)
+	}
+	wg.Wait()
+
+	resp, err := json.Marshal(&BatchResponse{Results: results})
+	if err != nil {
+		s.finish(w, r, start, http.StatusInternalServerError, "",
+			errorBody("marshal: "+err.Error()), err.Error())
+		return
+	}
+	s.finish(w, r, start, http.StatusOK, "", resp, "")
 }
 
 // panicError marks a recovered worker panic.
@@ -265,14 +399,14 @@ func isPanic(err error) bool {
 // offline with gsched).
 func (s *Server) runJob(ctx context.Context, j *job) (body []byte, err error) {
 	// The reproducer must capture the input, not the half-scheduled
-	// wreckage, so canonicalize before scheduling mutates the program.
-	input := asm.Canonical(j.prog)
+	// wreckage; resolve rendered the canonical text before scheduling
+	// could mutate the program, so reuse it instead of re-rendering.
 	defer func() {
 		if v := recover(); v != nil {
 			pe := &panicError{val: v, stack: debug.Stack()}
 			s.cfg.Logger.Error("worker panic",
 				"panic", fmt.Sprint(v),
-				"repro", reproducer(input, j, fmt.Sprint(v)),
+				"repro", reproducer(string(j.canon), j, fmt.Sprint(v)),
 				"stack", string(pe.stack))
 			err = pe
 		}

@@ -217,16 +217,19 @@ func TransformOnlyProgram(p *ir.Program, cfgX Config) Stats {
 }
 
 // transformInnerLoops repeatedly finds an untouched inner loop of at most
-// maxBlocks blocks and applies xf to it, rebuilding the flow analyses
-// after every change. Returns the number of successful transformations.
+// maxBlocks blocks and applies xf to it. The flow analyses are rebuilt
+// only after a successful transformation — a refused loop leaves f
+// untouched (the transforms check eligibility before mutating), so the
+// existing graph stays valid and the scan continues on it. Returns the
+// number of successful transformations.
 func transformInnerLoops(f *ir.Func, maxBlocks int,
 	xf func(*ir.Func, *cfg.Graph, *cfg.LoopInfo, *cfg.Region) bool) int {
 
 	donePointers := make(map[*ir.Block]bool)
 	count := 0
+	g := cfg.Build(f)
+	li := cfg.FindLoops(g)
 	for {
-		g := cfg.Build(f)
-		li := cfg.FindLoops(g)
 		if li.Irreducible {
 			return count
 		}
@@ -249,14 +252,18 @@ func transformInnerLoops(f *ir.Func, maxBlocks int,
 		donePointers[f.Blocks[target.Header]] = true
 		if xf(f, g, li, target) {
 			count++
+			g = cfg.Build(f)
+			li = cfg.FindLoops(g)
 		}
 	}
 }
 
 // scheduleFiltered schedules the regions selected by keep (given the
 // region and its nesting height), innermost first, honouring the size
-// caps in opts. Cancellation is checked before every region; the first
-// trip aborts the walk and surfaces ctx.Err().
+// caps in opts. The walk, its region-level parallelism, and its
+// cancellation behaviour live in core.ScheduleRegionTree; this wrapper
+// only rebuilds the flow analyses (the transforms restructure the graph
+// between passes).
 func scheduleFiltered(ctx context.Context, f *ir.Func, opts *core.Options, st *core.Stats,
 	keep func(r *cfg.Region, height int) bool) error {
 
@@ -266,37 +273,5 @@ func scheduleFiltered(ctx context.Context, f *ir.Func, opts *core.Options, st *c
 		st.RegionsSkipped++
 		return nil
 	}
-	heights := cfg.RegionHeights(li.Root)
-	var cancelled error
-	li.Root.Walk(func(r *cfg.Region) {
-		if cancelled != nil {
-			return
-		}
-		if err := ctx.Err(); err != nil {
-			cancelled = fmt.Errorf("xform: cancelled: %w", err)
-			return
-		}
-		h := heights[r]
-		if !keep(r, h) {
-			return
-		}
-		if opts.MaxRegionBlocks > 0 && len(r.Blocks) > opts.MaxRegionBlocks {
-			st.RegionsSkipped++
-			return
-		}
-		if opts.MaxRegionInstrs > 0 {
-			n := 0
-			for _, b := range r.Blocks {
-				n += len(f.Blocks[b].Instrs)
-			}
-			if n > opts.MaxRegionInstrs {
-				st.RegionsSkipped++
-				return
-			}
-		}
-		if err := core.ScheduleRegion(f, g, li, r, opts, st); err != nil {
-			st.RegionsSkipped++
-		}
-	})
-	return cancelled
+	return core.ScheduleRegionTree(ctx, f, g, li, opts, st, keep)
 }

@@ -67,6 +67,14 @@ func Rotate(f *ir.Func, g *cfg.Graph, li *cfg.LoopInfo, r *cfg.Region) bool {
 			}
 		}
 	}
+	// The last loop block's fallthrough (if any) must have somewhere to
+	// land once H' is spliced in after it; check before mutating
+	// anything so a refusal leaves f untouched.
+	if t := f.Blocks[hi].Terminator(); t == nil || t.Op == ir.OpBC {
+		if hi+1 >= len(f.Blocks) {
+			return false
+		}
+	}
 	lc := &labelCounter{f: f}
 	bodyLabel := lc.ensureLabel(bodyFirst)
 	exitLabel := lc.ensureLabel(exit)

@@ -1,11 +1,15 @@
 package gsched_test
 
 import (
+	"runtime"
+	"slices"
 	"testing"
 
 	"gsched"
 	"gsched/internal/core"
 	"gsched/internal/machine"
+	"gsched/internal/minic"
+	"gsched/internal/progen"
 	"gsched/internal/workload"
 	"gsched/internal/xform"
 )
@@ -51,6 +55,95 @@ func TestParallelSchedulingDeterministic(t *testing.T) {
 			if seqStats != parStats {
 				t.Errorf("%s level=%v: stats differ: sequential %+v, parallel %+v",
 					w.Name, lv, seqStats, parStats)
+			}
+		}
+	}
+}
+
+// jobsSweep is the Parallelism settings every determinism sweep runs:
+// sequential, a small fixed pool, a pool larger than most CI machines,
+// and whatever the current host reports. Explicit 4 and 8 matter on
+// single-core runners, where NumCPU alone would collapse the sweep to
+// the sequential path.
+func jobsSweep() []int {
+	jobs := []int{1, 4, 8, runtime.NumCPU()}
+	slices.Sort(jobs)
+	return slices.Compact(jobs)
+}
+
+// TestJobsSweepDeterministic runs every workload at every scheduling
+// level under each Parallelism setting in jobsSweep and demands
+// byte-identical assembly and identical merged Stats across all of
+// them. With region-level parallelism this covers both grains: the
+// per-function pool and the per-region-subtree pool inside each
+// function. Run under -race it also shakes out sharing bugs in the
+// pooled pipeline state.
+func TestJobsSweepDeterministic(t *testing.T) {
+	mach := machine.RS6K()
+	for _, w := range workload.All() {
+		for _, lv := range []core.Level{core.LevelNone, core.LevelUseful, core.LevelSpeculative} {
+			var wantAsm string
+			var wantStats xform.Stats
+			for k, jobs := range jobsSweep() {
+				prog, err := w.Compile()
+				if err != nil {
+					t.Fatalf("%s: %v", w.Name, err)
+				}
+				opts := core.Defaults(mach, lv)
+				opts.Parallelism = jobs
+				stats, err := xform.RunProgram(prog, opts, xform.DefaultConfig())
+				if err != nil {
+					t.Fatalf("%s level=%v jobs=%d: %v", w.Name, lv, jobs, err)
+				}
+				asm := gsched.PrintAsm(prog)
+				if k == 0 {
+					wantAsm, wantStats = asm, stats
+					continue
+				}
+				if asm != wantAsm {
+					t.Errorf("%s level=%v jobs=%d: schedule differs from jobs=1", w.Name, lv, jobs)
+				}
+				if stats != wantStats {
+					t.Errorf("%s level=%v jobs=%d: stats differ: %+v, want %+v",
+						w.Name, lv, jobs, stats, wantStats)
+				}
+			}
+		}
+	}
+}
+
+// TestProgenJobsSweepDeterministic is the same sweep over generated
+// programs, whose loop nests and call graphs are bushier than the
+// hand-written workloads and so exercise deeper region trees.
+func TestProgenJobsSweepDeterministic(t *testing.T) {
+	const seeds = 8
+	mach := machine.RS6K()
+	opts0 := core.Defaults(mach, core.LevelSpeculative)
+	for seed := int64(0); seed < seeds; seed++ {
+		src := progen.New(seed).Source
+		var wantAsm string
+		var wantStats xform.Stats
+		for k, jobs := range jobsSweep() {
+			prog, err := minic.Compile(src)
+			if err != nil {
+				t.Fatalf("seed %d: compile: %v", seed, err)
+			}
+			opts := opts0
+			opts.Parallelism = jobs
+			stats, err := xform.RunProgram(prog, opts, xform.DefaultConfig())
+			if err != nil {
+				t.Fatalf("seed %d jobs=%d: %v", seed, jobs, err)
+			}
+			asm := gsched.PrintAsm(prog)
+			if k == 0 {
+				wantAsm, wantStats = asm, stats
+				continue
+			}
+			if asm != wantAsm {
+				t.Errorf("seed %d jobs=%d: schedule differs from jobs=1", seed, jobs)
+			}
+			if stats != wantStats {
+				t.Errorf("seed %d jobs=%d: stats differ: %+v, want %+v", seed, jobs, stats, wantStats)
 			}
 		}
 	}
