@@ -1,7 +1,8 @@
 // Command difftest runs the differential-testing engine: seeded-random
 // programs × a configuration lattice of machines and scheduler options,
 // cross-checked by differential simulation, the independent legality
-// verifier, and exhaustive schedule enumeration on small blocks. Any
+// verifier, exhaustive schedule enumeration on small blocks, and the
+// exact branch-and-bound scheduler against that enumeration. Any
 // disagreement is shrunk to a minimal reproducer.
 //
 // Usage:

@@ -26,7 +26,7 @@ import (
 )
 
 var (
-	level    = flag.String("level", "speculative", "scheduling level: none, useful, speculative")
+	level    = flag.String("level", "speculative", "scheduling level: none, useful, speculative, optimal")
 	machineF = flag.String("machine", "rs6k", "machine model: rs6k, or NxM for N fixed and M branch units")
 	pipeline = flag.Bool("pipeline", true, "run the full §6 pipeline (unroll/rotate) instead of plain scheduling")
 	printAsm = flag.Bool("print", false, "print the scheduled program as assembly")
@@ -103,6 +103,10 @@ func realMain(path string) error {
 		fmt.Printf("regions scheduled %d, skipped %d; moves: %d useful, %d speculative; webs renamed %d; loops unrolled %d, rotated %d\n",
 			st.RegionsScheduled, st.RegionsSkipped, st.UsefulMoves, st.SpeculativeMoves,
 			st.RenamedWebs, st.LoopsUnrolled, st.LoopsRotated)
+		if st.ExactBlocks > 0 {
+			fmt.Printf("exact: %d blocks searched, %d improved, %d cycles saved\n",
+				st.ExactBlocks, st.ExactImproved, st.ExactCyclesSaved)
+		}
 	}
 	if *printAsm {
 		fmt.Print(gsched.PrintAsm(prog))
@@ -153,6 +157,8 @@ func parseLevel(s string) (gsched.Level, error) {
 		return gsched.LevelUseful, nil
 	case "speculative":
 		return gsched.LevelSpeculative, nil
+	case "optimal":
+		return gsched.LevelOptimal, nil
 	}
 	return 0, fmt.Errorf("unknown level %q", s)
 }

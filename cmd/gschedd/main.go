@@ -10,6 +10,7 @@
 // Endpoints:
 //
 //	POST /schedule      schedule a mini-C or assembly program
+//	GET  /jobs/{id}     poll an async exact job (level=optimal)
 //	GET  /metrics       Prometheus text metrics
 //	GET  /healthz       liveness probe
 //	GET  /debug/pprof/  Go profiling
@@ -53,6 +54,10 @@ var (
 	drain      = flag.Duration("drain", 30*time.Second, "graceful shutdown budget for in-flight requests")
 	debugPanic = flag.Bool("debug-panic", false, "honour debug_panic requests (crash drills; never in production)")
 	logJSON    = flag.Bool("log-json", true, "structured JSON request logs on stderr (false: text)")
+
+	exactWorkers = flag.Int("exact-workers", 1, "concurrent exact-tier (level=optimal) jobs")
+	exactQueue   = flag.Int("exact-queue", 16, "queued exact jobs before 503")
+	exactTimeout = flag.Duration("exact-timeout", 60*time.Second, "per-job deadline for exact runs")
 )
 
 func main() {
@@ -82,9 +87,13 @@ func run() error {
 		MaxBodyBytes:    *maxBody,
 		Timeout:         *timeout,
 		CacheBytes:      cacheBytes,
+		ExactWorkers:    *exactWorkers,
+		ExactQueueDepth: *exactQueue,
+		ExactTimeout:    *exactTimeout,
 		AllowDebugPanic: *debugPanic,
 		Logger:          logger,
 	})
+	defer srv.Close()
 
 	hs := &http.Server{
 		Addr:              *addr,

@@ -43,12 +43,14 @@ type Machine = machine.Desc
 // Level selects the global scheduling level.
 type Level = core.Level
 
-// Scheduling levels: BASE (local only), useful-only global motion, and
-// useful plus 1-branch speculative motion.
+// Scheduling levels: BASE (local only), useful-only global motion,
+// useful plus 1-branch speculative motion, and speculative plus the
+// exact branch-and-bound block post-pass.
 const (
 	LevelNone        = core.LevelNone
 	LevelUseful      = core.LevelUseful
 	LevelSpeculative = core.LevelSpeculative
+	LevelOptimal     = core.LevelOptimal
 )
 
 // Options configures the scheduler; construct with Defaults.

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"gsched/internal/exact"
+	"gsched/internal/ir"
+)
+
+// ExactPassCtx is the LevelOptimal post-pass: every block the size gate
+// admits is handed to the exact branch-and-bound scheduler
+// (internal/exact), and its order replaced when the search finds a
+// strictly cheaper one. Blocks outside the gate, and blocks already at
+// their optimum, are left byte-identical — so at inputs the heuristic
+// already schedules optimally, LevelOptimal output equals
+// LevelSpeculative output exactly.
+//
+// The pass only permutes instructions within a block under the shared
+// dependence model, so it cannot invalidate the global schedule; the
+// regular verifier bracket still checks the result when opts.Verify is
+// set.
+func ExactPassCtx(ctx context.Context, f *ir.Func, opts *Options, st *Stats) error {
+	lim := exact.Limits{MaxBlock: opts.ExactMaxBlock, MaxNodes: opts.ExactNodes}
+	for _, b := range f.Blocks {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: schedule cancelled: %w", err)
+		}
+		res, ok := exact.ScheduleBlock(b.Instrs, opts.Machine, lim)
+		if !ok {
+			continue
+		}
+		st.ExactBlocks++
+		if res.Makespan < res.Input {
+			st.ExactImproved++
+			st.ExactCyclesSaved += res.Input - res.Makespan
+			copy(b.Instrs, res.Order)
+		}
+	}
+	return nil
+}

@@ -33,6 +33,13 @@ const (
 	// LevelSpeculative additionally allows 1-branch speculative motion
 	// (Definition 7 with n = 1).
 	LevelSpeculative
+	// LevelOptimal schedules like LevelSpeculative, then runs the exact
+	// branch-and-bound block scheduler (internal/exact) over every block
+	// the size gate admits, substituting the exact order where it
+	// strictly beats the heuristic one. Global motion is unchanged —
+	// only within-block order improves — so every >= LevelSpeculative
+	// property (speculation rules, forgiving loads) still holds.
+	LevelOptimal
 )
 
 func (l Level) String() string {
@@ -43,6 +50,8 @@ func (l Level) String() string {
 		return "useful"
 	case LevelSpeculative:
 		return "speculative"
+	case LevelOptimal:
+		return "optimal"
 	}
 	return "level?"
 }
@@ -90,6 +99,14 @@ type Options struct {
 	// compile-time-analysis stance; disable for the conservative
 	// variant.
 	SpeculateLoads bool
+
+	// ExactMaxBlock and ExactNodes gate and budget the exact block
+	// scheduler at LevelOptimal: the largest block admitted to the
+	// branch-and-bound search and its search-node budget. Zero means
+	// the internal/exact package defaults (20 instructions, 200k
+	// nodes); both are ignored below LevelOptimal.
+	ExactMaxBlock int
+	ExactNodes    int
 
 	// Region limits of §6: only "small" reducible regions are
 	// scheduled, and only two nesting levels (inner regions and outer
@@ -167,6 +184,14 @@ type Stats struct {
 	DuplicatedMoves  int
 	RenamedWebs      int
 	LocalBlocks      int
+
+	// Exact-tier counters (LevelOptimal only). ExactBlocks counts
+	// blocks admitted to the branch-and-bound search, ExactImproved
+	// those where the exact order strictly beat the heuristic one, and
+	// ExactCyclesSaved the summed per-block makespan improvement.
+	ExactBlocks      int
+	ExactImproved    int
+	ExactCyclesSaved int
 }
 
 // Add accumulates other into s.
@@ -178,4 +203,7 @@ func (s *Stats) Add(o Stats) {
 	s.DuplicatedMoves += o.DuplicatedMoves
 	s.RenamedWebs += o.RenamedWebs
 	s.LocalBlocks += o.LocalBlocks
+	s.ExactBlocks += o.ExactBlocks
+	s.ExactImproved += o.ExactImproved
+	s.ExactCyclesSaved += o.ExactCyclesSaved
 }

@@ -70,6 +70,15 @@ func ScheduleFuncCtx(ctx context.Context, f *ir.Func, opts Options) (Stats, erro
 		done()
 	}
 
+	if opts.Level >= LevelOptimal {
+		done := opts.Trace.TimePhase(PhaseExact)
+		err := ExactPassCtx(ctx, f, &opts, &st)
+		done()
+		if err != nil {
+			return st, err
+		}
+	}
+
 	if opts.Verify {
 		done := opts.Trace.TimePhase(PhaseVerify)
 		err := verify.Check(snap, f, opts.VerifyRules())

@@ -22,6 +22,9 @@ const (
 	PhaseVerify
 	// PhaseXform is loop unrolling and rotation (§6).
 	PhaseXform
+	// PhaseExact is the exact branch-and-bound block scheduler
+	// (LevelOptimal).
+	PhaseExact
 
 	// NumPhases is the number of traced phases.
 	NumPhases
@@ -41,6 +44,8 @@ func (p Phase) String() string {
 		return "verify"
 	case PhaseXform:
 		return "xform"
+	case PhaseExact:
+		return "exact"
 	}
 	return "phase?"
 }

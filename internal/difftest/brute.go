@@ -5,18 +5,20 @@ import (
 
 	"gsched/internal/ir"
 	"gsched/internal/machine"
+	"gsched/internal/schedmodel"
 )
 
 // The exhaustive-schedule oracle. For a basic block small enough to
 // enumerate, every permutation of its instructions that respects the
-// block's data dependences (derived here from the §4.2 facts,
-// independently of internal/pdg and internal/verify) is generated and
-// costed with the simulator's issue model. The scheduled order must be
-// one of those permutations — an independent legality proof for the
-// block — and its makespan must lie within [optimum, worst legal].
+// block's data dependences (the §4.2 facts of internal/schedmodel,
+// derived independently of internal/pdg and internal/verify) is
+// generated and costed with the simulator's issue model. The scheduled
+// order must be one of those permutations — an independent legality
+// proof for the block — and its makespan must lie within
+// [optimum, worst legal].
 
-// bruteStats reports one block's enumeration.
-type bruteStats struct {
+// BruteStats reports one block's enumeration.
+type BruteStats struct {
 	Enumerated int  // number of legal orders
 	Cost       int  // makespan of the scheduled order
 	Best       int  // minimum makespan over all legal orders
@@ -24,136 +26,13 @@ type bruteStats struct {
 	Optimal    bool // the scheduled order achieves Best
 }
 
-// depends reports whether, with a textually before b, b must stay
-// ordered after a: a register flow/anti/output dependence, or a memory
-// conflict. The aliasing facts mirror §4.2 of the paper (distinct named
-// symbols are disjoint, frame slots are disjoint from globals and from
-// differently-offset frame slots, calls may touch any global memory but
-// no frame slot) and intentionally match the scheduler's own
-// disambiguation power: a weaker rule here would flag legal schedules.
-func depends(a, b *ir.Instr) bool {
-	var abuf, bbuf [2]ir.Reg
-	ad := a.Defs(abuf[:0])
-	bd := b.Defs(bbuf[:0])
-	for _, r := range ad {
-		if b.UsesReg(r) || b.DefsReg(r) {
-			return true // flow or output
-		}
-	}
-	for _, r := range bd {
-		if a.UsesReg(r) {
-			return true // anti
-		}
-	}
-	if a.Op.TouchesMemory() && b.Op.TouchesMemory() &&
-		!(a.Op.IsLoad() && b.Op.IsLoad()) && mayAlias(a, b) {
-		return true
-	}
-	return false
-}
-
-// mayAlias conservatively decides whether two memory-touching
-// instructions can access a common location.
-func mayAlias(a, b *ir.Instr) bool {
-	if a.Op == ir.OpCall || b.Op == ir.OpCall {
-		other := a
-		if a.Op == ir.OpCall {
-			other = b
-		}
-		if other.Op == ir.OpCall {
-			return true
-		}
-		return other.Mem == nil || !other.Mem.Frame
-	}
-	ma, mb := a.Mem, b.Mem
-	if ma == nil || mb == nil {
-		return false
-	}
-	if ma.Frame != mb.Frame {
-		return false
-	}
-	if ma.Frame {
-		return ma.Off == mb.Off
-	}
-	if ma.Sym != "" && mb.Sym != "" && ma.Sym != mb.Sym {
-		return false
-	}
-	if ma.Sym == mb.Sym && ma.Sym != "" && ma.Base == ir.NoReg && mb.Base == ir.NoReg {
-		return ma.Off == mb.Off
-	}
-	return true
-}
-
-// makespan replays order through the simulator's issue model for a block
-// started from a cold pipeline: in-order issue, at most n_t starts per
-// unit type per cycle, and every consumer held to producer start + t + d
-// (the k + t + d rule of §2). Values defined before the block are ready
-// at cycle zero.
-func makespan(order []*ir.Instr, d *machine.Desc) int {
-	avail := make(map[ir.Reg]int)
-	prod := make(map[ir.Reg]*ir.Instr)
-	var lastCycle, lastCount [machine.NumUnitTypes]int
-	prev, finish := 0, 0
-	for _, i := range order {
-		ready := 0
-		use := func(r ir.Reg) {
-			if !r.Valid() {
-				return
-			}
-			p, ok := prod[r]
-			if !ok {
-				return
-			}
-			if c := avail[r] + d.Delay(p, i, r); c > ready {
-				ready = c
-			}
-		}
-		use(i.A)
-		use(i.B)
-		if i.Mem != nil {
-			use(i.Mem.Base)
-		}
-		for _, a := range i.CallArgs {
-			use(a)
-		}
-		c := prev
-		if ready > c {
-			c = ready
-		}
-		t := d.Unit(i.Op)
-		n := d.NumUnits[t]
-		if n < 1 {
-			n = 1
-		}
-		if c == lastCycle[t] && lastCount[t] >= n {
-			c++
-		}
-		if c > lastCycle[t] {
-			lastCycle[t] = c
-			lastCount[t] = 1
-		} else {
-			lastCount[t]++
-		}
-		prev = c
-		if done := c + d.Exec(i.Op); done > finish {
-			finish = done
-		}
-		var defs [2]ir.Reg
-		for _, r := range i.Defs(defs[:0]) {
-			avail[r] = c + d.Exec(i.Op)
-			prod[r] = i
-		}
-	}
-	return finish
-}
-
-// bruteCheckBlock cross-checks one block: ref is the block's
+// BruteCheckBlock cross-checks one block: ref is the block's
 // pre-schedule instruction order (after renaming), final its scheduled
 // order. The two must hold the same instructions; the caller skips
 // blocks touched by cross-block motion. Returns the enumeration stats
 // and the first oracle violation, or nil.
-func bruteCheckBlock(ref, final []*ir.Instr, mach *machine.Desc) (bruteStats, error) {
-	var st bruteStats
+func BruteCheckBlock(ref, final []*ir.Instr, mach *machine.Desc) (BruteStats, error) {
+	var st BruteStats
 	n := len(ref)
 	if n != len(final) {
 		return st, fmt.Errorf("brute: block size changed %d -> %d", n, len(final))
@@ -166,22 +45,7 @@ func bruteCheckBlock(ref, final []*ir.Instr, mach *machine.Desc) (bruteStats, er
 
 	// Dependence matrix over ref positions, with everything ordered
 	// before the terminator.
-	dep := make([][]bool, n)
-	for i := range dep {
-		dep[i] = make([]bool, n)
-	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			if depends(ref[i], ref[j]) {
-				dep[i][j] = true
-			}
-		}
-	}
-	if ref[n-1].Op.IsTerminator() {
-		for i := 0; i < n-1; i++ {
-			dep[i][n-1] = true
-		}
-	}
+	dep := schedmodel.DepMatrix(ref)
 
 	// Position of each ref instruction in the final order.
 	posOf := make(map[int]int, n)
@@ -207,7 +71,7 @@ func bruteCheckBlock(ref, final []*ir.Instr, mach *machine.Desc) (bruteStats, er
 		}
 	}
 
-	st.Cost = makespan(final, mach)
+	st.Cost = schedmodel.Makespan(final, mach)
 
 	// Exhaustive enumeration of dependence-legal orders.
 	order := make([]*ir.Instr, 0, n)
@@ -216,7 +80,7 @@ func bruteCheckBlock(ref, final []*ir.Instr, mach *machine.Desc) (bruteStats, er
 	var walk func()
 	walk = func() {
 		if len(order) == n {
-			c := makespan(order, mach)
+			c := schedmodel.Makespan(order, mach)
 			st.Enumerated++
 			if st.Best < 0 || c < st.Best {
 				st.Best = c

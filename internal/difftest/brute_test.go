@@ -6,6 +6,7 @@ import (
 
 	"gsched/internal/ir"
 	"gsched/internal/machine"
+	"gsched/internal/schedmodel"
 )
 
 func instr(id int, op ir.Op, def, a, b ir.Reg) *ir.Instr {
@@ -27,25 +28,25 @@ func TestDepends(t *testing.T) {
 	use := instr(2, ir.OpAdd, ir.GPR(4), ir.GPR(3), ir.GPR(1))
 	clobber := instr(3, ir.OpAdd, ir.GPR(1), ir.GPR(5), ir.GPR(5))
 	indep := instr(4, ir.OpAdd, ir.GPR(6), ir.GPR(7), ir.GPR(7))
-	if !depends(add, use) {
+	if !schedmodel.Depends(add, use) {
 		t.Error("flow dependence missed")
 	}
-	if !depends(add, clobber) {
+	if !schedmodel.Depends(add, clobber) {
 		t.Error("anti dependence (r1 read then written) missed")
 	}
-	if depends(add, indep) {
+	if schedmodel.Depends(add, indep) {
 		t.Error("independent pair flagged")
 	}
 	la, lb := load(5, ir.GPR(8), "x", 0), load(6, ir.GPR(9), "x", 0)
-	if depends(la, lb) {
+	if schedmodel.Depends(la, lb) {
 		t.Error("load/load pair must not conflict")
 	}
 	st := store(7, ir.GPR(1), "x", 0)
-	if !depends(la, st) {
+	if !schedmodel.Depends(la, st) {
 		t.Error("load/store on same symbol missed")
 	}
 	other := store(8, ir.GPR(1), "y", 0)
-	if depends(la, other) {
+	if schedmodel.Depends(la, other) {
 		t.Error("distinct symbols must be disjoint (§4.2)")
 	}
 }
@@ -57,8 +58,8 @@ func TestMakespanDelaySensitive(t *testing.T) {
 	cmp := instr(1, ir.OpCmp, ir.CR(0), ir.GPR(1), ir.GPR(2))
 	add := instr(2, ir.OpAdd, ir.GPR(3), ir.GPR(4), ir.GPR(5))
 	bc := &ir.Instr{ID: 3, Op: ir.OpBC, Def: ir.NoReg, Def2: ir.NoReg, A: ir.CR(0), B: ir.NoReg}
-	early := makespan([]*ir.Instr{cmp, add, bc}, d)
-	late := makespan([]*ir.Instr{add, cmp, bc}, d)
+	early := schedmodel.Makespan([]*ir.Instr{cmp, add, bc}, d)
+	late := schedmodel.Makespan([]*ir.Instr{add, cmp, bc}, d)
 	if early >= late {
 		t.Errorf("cmp-first makespan %d should beat cmp-late %d", early, late)
 	}
@@ -76,7 +77,7 @@ func TestBruteCheckBlock(t *testing.T) {
 	ref := mk()
 
 	// Identity schedule is legal; with cmp first it is also optimal.
-	st, err := bruteCheckBlock(ref, ref, d)
+	st, err := BruteCheckBlock(ref, ref, d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,18 +94,18 @@ func TestBruteCheckBlock(t *testing.T) {
 
 	// Reversing the a->b flow dependence must be rejected.
 	bad := []*ir.Instr{ref[0], ref[2], ref[1], ref[3]}
-	if _, err := bruteCheckBlock(ref, bad, d); err == nil || !strings.Contains(err.Error(), "reverses dependence") {
+	if _, err := BruteCheckBlock(ref, bad, d); err == nil || !strings.Contains(err.Error(), "reverses dependence") {
 		t.Errorf("reversed flow dependence not caught: %v", err)
 	}
 
 	// A final order with a foreign instruction is rejected.
 	alien := instr(99, ir.OpAdd, ir.GPR(7), ir.GPR(7), ir.GPR(7))
-	if _, err := bruteCheckBlock(ref, []*ir.Instr{ref[0], ref[1], alien, ref[3]}, d); err == nil {
+	if _, err := BruteCheckBlock(ref, []*ir.Instr{ref[0], ref[1], alien, ref[3]}, d); err == nil {
 		t.Error("foreign instruction in scheduled block not caught")
 	}
 
 	// Empty block is trivially fine.
-	if st, err := bruteCheckBlock(nil, nil, d); err != nil || !st.Optimal {
+	if st, err := BruteCheckBlock(nil, nil, d); err != nil || !st.Optimal {
 		t.Errorf("empty block: %v %+v", err, st)
 	}
 }

@@ -55,13 +55,14 @@ type Report struct {
 	Cells         int
 	BruteBlocks   int   // blocks cross-checked by the exhaustive oracle
 	OptimalBlocks int   // of those, blocks where the scheduler hit the optimum
+	ExactBlocks   int   // blocks where the exact search was checked against the enumerator
 	Enumerated    int64 // total legal orders enumerated
 	Mismatches    []*Mismatch
 }
 
 func (r *Report) String() string {
-	s := fmt.Sprintf("difftest: %d programs x lattice = %d cells; brute-forced %d blocks (%d optimal, %d orders enumerated); %d mismatch(es)",
-		r.Programs, r.Cells, r.BruteBlocks, r.OptimalBlocks, r.Enumerated, len(r.Mismatches))
+	s := fmt.Sprintf("difftest: %d programs x lattice = %d cells; brute-forced %d blocks (%d optimal, %d orders enumerated, %d exact-checked); %d mismatch(es)",
+		r.Programs, r.Cells, r.BruteBlocks, r.OptimalBlocks, r.Enumerated, r.ExactBlocks, len(r.Mismatches))
 	return s
 }
 
@@ -70,7 +71,7 @@ func (r *Report) String() string {
 type Mismatch struct {
 	Seed   int64  // generator seed of the original program
 	Cell   Cell   // shrunk cell (machine and options minimised too)
-	Oracle string // which oracle tripped: schedule, verify, sim, brute
+	Oracle string // which oracle tripped: schedule, verify, sim, brute, exact
 	Err    string // the oracle's diagnostic on the shrunk reproducer
 	Asm    string // the shrunk program, parseable by internal/asm
 	Instrs int    // instruction count of the shrunk program
@@ -109,7 +110,7 @@ func (e *Engine) defaults() {
 }
 
 // Run sweeps every generated program through every lattice cell,
-// cross-checking the three oracles, and shrinks any failure. The error
+// cross-checking the four oracles, and shrinks any failure. The error
 // return covers engine-level breakage (a program that does not compile,
 // an unwritable OutDir); oracle disagreements are reported as
 // Mismatches, not errors.
@@ -173,7 +174,7 @@ func (e *Engine) baseline(prog *ir.Program, entry string, args []int64) (*sim.Re
 }
 
 // checkCell schedules a fresh copy of prog under the cell and runs the
-// three oracles. prog itself is never modified. rep, when non-nil,
+// four oracles. prog itself is never modified. rep, when non-nil,
 // accumulates brute-force statistics.
 func (e *Engine) checkCell(rep *Report, prog *ir.Program, entry string, args []int64, want *sim.Result, cell Cell) *oracleError {
 	work := cloneProgram(prog)
@@ -243,12 +244,18 @@ func (e *Engine) checkCell(rep *Report, prog *ir.Program, entry string, args []i
 			if len(ref) > e.BruteMax || !sameInstrSet(ref, b.Instrs) {
 				continue // cross-block motion or too large: skip
 			}
-			st, err := bruteCheckBlock(ref, b.Instrs, cell.Machine)
+			st, err := BruteCheckBlock(ref, b.Instrs, cell.Machine)
 			if err != nil {
 				return &oracleError{"brute", fmt.Errorf("%s block %d: %w", f.Name, bi, err)}
 			}
+			// Oracle 4: branch-and-bound exact search against the
+			// enumerated ground truth.
+			if err := exactCheckBlock(ref, cell.Machine, st); err != nil {
+				return &oracleError{"exact", fmt.Errorf("%s block %d: %w", f.Name, bi, err)}
+			}
 			if rep != nil {
 				rep.BruteBlocks++
+				rep.ExactBlocks++
 				rep.Enumerated += int64(st.Enumerated)
 				if st.Optimal {
 					rep.OptimalBlocks++

@@ -1,0 +1,59 @@
+package difftest
+
+import (
+	"fmt"
+
+	"gsched/internal/exact"
+	"gsched/internal/ir"
+	"gsched/internal/machine"
+	"gsched/internal/schedmodel"
+)
+
+// The exact-scheduler oracle. Every block small enough for exhaustive
+// enumeration is also fed to internal/exact's branch-and-bound search;
+// the two optimize over the same order space with the same cost model
+// (internal/schedmodel), so a proven search must land on exactly the
+// enumerated optimum, and its order must be independently legal and
+// cost what it claims. This cross-checks the search (bounds, dominance
+// memoization) against ground truth on every enumerable block of the
+// sweep.
+
+// exactCheckBlock runs the exact scheduler on ref and cross-checks it
+// against the enumerator's stats for the same block.
+func exactCheckBlock(ref []*ir.Instr, mach *machine.Desc, st BruteStats) error {
+	res, ok := exact.ScheduleBlock(ref, mach, exact.Limits{})
+	if !ok {
+		return fmt.Errorf("exact: size gate declined a %d-instruction block the enumerator accepted", len(ref))
+	}
+	if !res.Proven {
+		return fmt.Errorf("exact: node budget exhausted on a %d-instruction block (%d nodes)", len(ref), res.Nodes)
+	}
+	if res.Makespan != st.Best {
+		return fmt.Errorf("exact: optimum %d disagrees with enumerated optimum %d", res.Makespan, st.Best)
+	}
+	if got := schedmodel.Makespan(res.Order, mach); got != res.Makespan {
+		return fmt.Errorf("exact: returned order costs %d, claimed %d", got, res.Makespan)
+	}
+	// Independent legality: the returned order must be a permutation of
+	// ref respecting every derived dependence.
+	pos := make(map[int]int, len(ref))
+	for k, i := range res.Order {
+		pos[i.ID] = k
+	}
+	if len(pos) != len(ref) || len(res.Order) != len(ref) {
+		return fmt.Errorf("exact: order holds %d instructions (%d distinct), want %d", len(res.Order), len(pos), len(ref))
+	}
+	dep := schedmodel.DepMatrix(ref)
+	for i := range ref {
+		pi, ok := pos[ref[i].ID]
+		if !ok {
+			return fmt.Errorf("exact: instruction id %d missing from order", ref[i].ID)
+		}
+		for j := i + 1; j < len(ref); j++ {
+			if dep[i][j] && pi >= pos[ref[j].ID] {
+				return fmt.Errorf("exact: order reverses dependence %q -> %q", ref[i], ref[j])
+			}
+		}
+	}
+	return nil
+}

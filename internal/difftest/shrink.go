@@ -5,6 +5,7 @@ import (
 	"gsched/internal/core"
 	"gsched/internal/ir"
 	"gsched/internal/machine"
+	"gsched/internal/schedmodel"
 )
 
 // shrink reduces a failing (program, machine, options) triple to a
@@ -166,7 +167,7 @@ func SwapDependent(p *ir.Program) bool {
 				if a.Op.IsTerminator() || c.Op.IsTerminator() {
 					continue
 				}
-				if depends(a, c) {
+				if schedmodel.Depends(a, c) {
 					b.Instrs[k], b.Instrs[k+1] = c, a
 					return true
 				}

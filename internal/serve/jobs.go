@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"context"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// The async exact-tier job layer. level=optimal schedules are too slow
+// for the synchronous request path, so POST /schedule answers with the
+// heuristic schedule immediately and enqueues the exact run as a job on
+// its own bounded queue with its own workers — the synchronous pool
+// stays isolated from branch-and-bound search time. Jobs are identified
+// by the request's content-addressed Key, which buys deduplication
+// (resubmitting an identical request joins the existing job) and a
+// forever-cache (a finished job's bytes are kept for every future
+// poll): exact results are expensive and deterministic in the key, so
+// they are never evicted.
+
+// Job states, as reported by the API.
+const (
+	jobQueued  = "queued"
+	jobRunning = "running"
+	jobDone    = "done"
+	jobFailed  = "failed"
+)
+
+// String renders the key as the job id used by the HTTP API.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// parseJobID inverts Key.String.
+func parseJobID(id string) (Key, error) {
+	var k Key
+	b, err := hex.DecodeString(id)
+	if err != nil || len(b) != len(k) {
+		return k, fmt.Errorf("job id must be %d hex characters", 2*len(k))
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// ExactStats is a point-in-time snapshot of the job-layer counters.
+// Every submission lands in exactly one of Queued, Running, Completed
+// or Failed, so Submitted == Completed + Failed + Queued + Running at
+// every instant; Deduped and Rejected count turned-away POSTs and are
+// outside that balance.
+type ExactStats struct {
+	Submitted int64 // jobs accepted onto the queue (including retries of failed jobs)
+	Deduped   int64 // submissions that joined an existing queued/running/done job
+	Rejected  int64 // submissions refused: queue full or manager closed
+	Completed int64 // jobs finished with a result
+	Failed    int64 // jobs finished with an error (deadline, verifier, panic)
+	Queued    int64 // gauge: accepted, waiting for a worker
+	Running   int64 // gauge: currently scheduling
+}
+
+// exactJob is one job's record; guarded by the manager's mutex.
+type exactJob struct {
+	spec   *job
+	state  string
+	body   []byte // jobDone: the response bytes, kept forever
+	errMsg string // jobFailed
+}
+
+// jobManager owns the exact-tier queue, workers and forever-store.
+type jobManager struct {
+	queue   chan *exactJob
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	timeout time.Duration
+	run     func(ctx context.Context, spec *job) ([]byte, error)
+
+	mu     sync.Mutex
+	jobs   map[Key]*exactJob
+	closed bool
+	stats  ExactStats
+}
+
+func newJobManager(workers, depth int, timeout time.Duration,
+	run func(ctx context.Context, spec *job) ([]byte, error)) *jobManager {
+
+	m := &jobManager{
+		queue:   make(chan *exactJob, depth),
+		stop:    make(chan struct{}),
+		timeout: timeout,
+		run:     run,
+		jobs:    make(map[Key]*exactJob),
+	}
+	m.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+// submit enqueues spec's exact job, or joins an existing one. It
+// returns the job's current state and whether the submission was
+// admitted; !ok means the queue is full (or the manager closed) and the
+// client should retry later. A previously failed job is retried by
+// re-enqueueing it; queued, running and done jobs dedup.
+func (m *jobManager) submit(spec *job) (state string, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		m.stats.Rejected++
+		return "", false
+	}
+	ej := m.jobs[spec.key]
+	if ej != nil && ej.state != jobFailed {
+		m.stats.Deduped++
+		return ej.state, true
+	}
+	if ej == nil {
+		ej = &exactJob{spec: spec}
+	}
+	select {
+	case m.queue <- ej:
+	default:
+		m.stats.Rejected++
+		return "", false
+	}
+	ej.state = jobQueued
+	ej.body, ej.errMsg = nil, ""
+	m.jobs[spec.key] = ej
+	m.stats.Submitted++
+	m.stats.Queued++
+	return jobQueued, true
+}
+
+// get reports a job's state and, when finished, its result or error.
+func (m *jobManager) get(key Key) (state string, body []byte, errMsg string, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ej := m.jobs[key]
+	if ej == nil {
+		return "", nil, "", false
+	}
+	return ej.state, ej.body, ej.errMsg, true
+}
+
+// snapshot samples the counters for the metrics endpoint.
+func (m *jobManager) snapshot() ExactStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+func (m *jobManager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case ej := <-m.queue:
+			m.mu.Lock()
+			ej.state = jobRunning
+			m.stats.Queued--
+			m.stats.Running++
+			m.mu.Unlock()
+
+			ctx, cancel := context.WithTimeout(context.Background(), m.timeout)
+			body, err := m.run(ctx, ej.spec)
+			cancel()
+
+			m.mu.Lock()
+			if err != nil {
+				ej.state = jobFailed
+				ej.errMsg = err.Error()
+				m.stats.Failed++
+			} else {
+				ej.state = jobDone
+				ej.body = body
+				m.stats.Completed++
+			}
+			m.stats.Running--
+			m.mu.Unlock()
+		}
+	}
+}
+
+// close stops the workers after their current job; further submissions
+// are rejected. Jobs still queued stay queued (the process is going
+// away with their results anyway).
+func (m *jobManager) close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.stop)
+	m.wg.Wait()
+}

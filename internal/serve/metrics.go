@@ -53,6 +53,10 @@ type Metrics struct {
 
 	cache *Cache
 	trace *core.Trace
+
+	// exact samples the async exact-tier job counters; nil for servers
+	// without a job manager.
+	exact func() ExactStats
 }
 
 // NewMetrics returns an empty registry. cache and trace may be nil;
@@ -161,6 +165,24 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	if m.sfWaits != nil {
 		fmt.Fprintf(cw, "# HELP gschedd_singleflight_waits_total Requests that waited on an identical in-flight run.\n# TYPE gschedd_singleflight_waits_total counter\n")
 		fmt.Fprintf(cw, "gschedd_singleflight_waits_total %d\n", m.sfWaits())
+	}
+
+	if m.exact != nil {
+		es := m.exact()
+		fmt.Fprintf(cw, "# HELP gschedd_exact_jobs_submitted_total Exact jobs accepted onto the queue (including retries).\n# TYPE gschedd_exact_jobs_submitted_total counter\n")
+		fmt.Fprintf(cw, "gschedd_exact_jobs_submitted_total %d\n", es.Submitted)
+		fmt.Fprintf(cw, "# HELP gschedd_exact_jobs_deduped_total Exact submissions that joined an existing job.\n# TYPE gschedd_exact_jobs_deduped_total counter\n")
+		fmt.Fprintf(cw, "gschedd_exact_jobs_deduped_total %d\n", es.Deduped)
+		fmt.Fprintf(cw, "# HELP gschedd_exact_jobs_rejected_total Exact submissions refused (queue full).\n# TYPE gschedd_exact_jobs_rejected_total counter\n")
+		fmt.Fprintf(cw, "gschedd_exact_jobs_rejected_total %d\n", es.Rejected)
+		fmt.Fprintf(cw, "# HELP gschedd_exact_jobs_completed_total Exact jobs finished with a result.\n# TYPE gschedd_exact_jobs_completed_total counter\n")
+		fmt.Fprintf(cw, "gschedd_exact_jobs_completed_total %d\n", es.Completed)
+		fmt.Fprintf(cw, "# HELP gschedd_exact_jobs_failed_total Exact jobs finished with an error (deadline, verifier, panic).\n# TYPE gschedd_exact_jobs_failed_total counter\n")
+		fmt.Fprintf(cw, "gschedd_exact_jobs_failed_total %d\n", es.Failed)
+		fmt.Fprintf(cw, "# HELP gschedd_exact_queue_depth Exact jobs waiting for a worker.\n# TYPE gschedd_exact_queue_depth gauge\n")
+		fmt.Fprintf(cw, "gschedd_exact_queue_depth %d\n", es.Queued)
+		fmt.Fprintf(cw, "# HELP gschedd_exact_running Exact jobs currently scheduling.\n# TYPE gschedd_exact_running gauge\n")
+		fmt.Fprintf(cw, "gschedd_exact_running %d\n", es.Running)
 	}
 
 	if m.trace != nil {

@@ -28,7 +28,10 @@ type Request struct {
 	// or "NxM" for N fixed and M branch units) or a full machine.Desc
 	// object. Empty means rs6k.
 	Machine json.RawMessage `json:"machine,omitempty"`
-	// Level is "none", "useful" or "speculative" (the default).
+	// Level is "none", "useful", "speculative" (the default) or
+	// "optimal". level=optimal answers 202 with the speculative
+	// schedule immediately plus async job metadata; poll GET /jobs/{id}
+	// for the exact result.
 	Level string `json:"level,omitempty"`
 	// Pipeline selects the full §6 unroll/rotate pipeline (default
 	// true); false runs plain renaming + global scheduling + post-pass.
@@ -62,6 +65,8 @@ type OptionsPatch struct {
 	MaxRegionBlocks *int     `json:"max_region_blocks,omitempty"`
 	MaxRegionInstrs *int     `json:"max_region_instrs,omitempty"`
 	MaxRegionLevels *int     `json:"max_region_levels,omitempty"`
+	ExactMaxBlock   *int     `json:"exact_max_block,omitempty"`
+	ExactNodes      *int     `json:"exact_nodes,omitempty"`
 }
 
 // SimRequest asks for a simulated run of the scheduled program.
@@ -93,6 +98,39 @@ type SimResponse struct {
 // ErrorResponse is the JSON body of every non-2xx reply.
 type ErrorResponse struct {
 	Error string `json:"error"`
+}
+
+// AsyncResponse is the 202 body of POST /schedule with level=optimal.
+// Heuristic holds, byte for byte, the Response the same request would
+// have produced at level=speculative (both go through the same serving
+// pipeline and cache entry); Job names the queued exact run.
+type AsyncResponse struct {
+	Heuristic json.RawMessage `json:"heuristic"`
+	Job       JobInfo         `json:"job"`
+}
+
+// JobInfo identifies one async exact job.
+type JobInfo struct {
+	// ID is the job's content-addressed identity (the hex response
+	// cache key). Identical requests share one ID and one job.
+	ID string `json:"id"`
+	// Status is "queued", "running", "done" or "failed".
+	Status string `json:"status"`
+	// Poll is the path to poll: "/jobs/{id}".
+	Poll string `json:"poll"`
+}
+
+// JobResponse is the body of GET /jobs/{id}.
+type JobResponse struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	// Result carries the finished Response (same shape as a synchronous
+	// /schedule body) once Status is "done".
+	Result json.RawMessage `json:"result,omitempty"`
+	// Error carries the failure diagnostic once Status is "failed".
+	// Failed jobs are retriable: resubmitting the original request
+	// re-enqueues the job.
+	Error string `json:"error,omitempty"`
 }
 
 // BatchRequest is the JSON body of POST /schedule/batch: several
@@ -186,8 +224,10 @@ func resolve(req *Request, allowPanic bool) (*job, error) {
 		lv = core.LevelUseful
 	case "speculative":
 		lv = core.LevelSpeculative
+	case "optimal":
+		lv = core.LevelOptimal
 	default:
-		return nil, badf("unknown level %q (want none, useful or speculative)", level)
+		return nil, badf("unknown level %q (want none, useful, speculative or optimal)", level)
 	}
 
 	j.opts = core.Defaults(j.mach, lv)
@@ -203,6 +243,8 @@ func resolve(req *Request, allowPanic bool) (*job, error) {
 		setIf(&j.opts.MaxRegionBlocks, p.MaxRegionBlocks)
 		setIf(&j.opts.MaxRegionInstrs, p.MaxRegionInstrs)
 		setIf(&j.opts.MaxRegionLevels, p.MaxRegionLevels)
+		setIf(&j.opts.ExactMaxBlock, p.ExactMaxBlock)
+		setIf(&j.opts.ExactNodes, p.ExactNodes)
 	}
 	if req.Pipeline != nil {
 		j.pipeline = *req.Pipeline
@@ -298,11 +340,11 @@ func contentKey(j *job) Key {
 // schedule.
 func canonOptionsTo(w io.Writer, o *core.Options, pipeline bool) {
 	fmt.Fprintf(w,
-		"level=%s local=%t rename=%t spec=%d minprob=%g dup=%t loads=%t rb=%d ri=%d rl=%d verify=%t pipeline=%t",
+		"level=%s local=%t rename=%t spec=%d minprob=%g dup=%t loads=%t rb=%d ri=%d rl=%d verify=%t pipeline=%t exact_mb=%d exact_nodes=%d",
 		o.Level, o.LocalPass, o.Rename, o.SpecDegree, o.MinSpecProb,
 		o.Duplicate, o.SpeculateLoads,
 		o.MaxRegionBlocks, o.MaxRegionInstrs, o.MaxRegionLevels,
-		o.Verify, pipeline)
+		o.Verify, pipeline, o.ExactMaxBlock, o.ExactNodes)
 }
 
 // canonOptions is canonOptionsTo into a string (reproducer headers).

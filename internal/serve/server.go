@@ -46,6 +46,17 @@ type Config struct {
 	// CacheBytes caps the content-addressed response cache (default
 	// 64 MiB; negative disables caching entirely).
 	CacheBytes int64
+	// ExactWorkers bounds concurrent exact-tier (level=optimal) jobs;
+	// they run on their own pool so branch-and-bound search time never
+	// starves the synchronous workers (default 1).
+	ExactWorkers int
+	// ExactQueueDepth bounds exact jobs queued beyond the running
+	// workers; past it POST /schedule with level=optimal answers 503
+	// with Retry-After (default 16).
+	ExactQueueDepth int
+	// ExactTimeout is the per-job deadline of one exact run; expiry
+	// records the job as failed, never leaves it hung (default 60s).
+	ExactTimeout time.Duration
 	// AllowDebugPanic honours the debug_panic request field, which
 	// crashes the worker to exercise the panic-to-500 recovery path.
 	// For tests and smoke drills only.
@@ -72,6 +83,15 @@ func (c *Config) defaults() {
 	if c.CacheBytes == 0 {
 		c.CacheBytes = 64 << 20
 	}
+	if c.ExactWorkers <= 0 {
+		c.ExactWorkers = 1
+	}
+	if c.ExactQueueDepth <= 0 {
+		c.ExactQueueDepth = 16
+	}
+	if c.ExactTimeout <= 0 {
+		c.ExactTimeout = 60 * time.Second
+	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
@@ -87,6 +107,7 @@ type Server struct {
 	trace   *core.Trace
 	metrics *Metrics
 	mux     *http.ServeMux
+	jobs    *jobManager // async exact-tier (level=optimal) jobs
 
 	sem      chan struct{} // worker slots
 	queued   atomic.Int64  // admitted, waiting or running
@@ -117,9 +138,12 @@ func New(cfg Config) *Server {
 		func() int64 { return s.inflight.Load() },
 		func() int64 { return s.runs.Load() },
 		func() int64 { return s.sfWaits.Load() })
+	s.jobs = newJobManager(cfg.ExactWorkers, cfg.ExactQueueDepth, cfg.ExactTimeout, s.runExactJob)
+	s.metrics.exact = s.jobs.snapshot
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/schedule", s.handleSchedule)
 	s.mux.HandleFunc("/schedule/batch", s.handleScheduleBatch)
+	s.mux.HandleFunc("/jobs/", s.handleJob)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -130,9 +154,14 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the root handler: /schedule, /metrics, /healthz and
-// /debug/pprof.
+// Handler returns the root handler: /schedule, /jobs, /metrics,
+// /healthz and /debug/pprof.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the exact-tier job workers after their current job and
+// rejects further submissions. Call after draining the HTTP server;
+// queued jobs are abandoned (their results die with the process).
+func (s *Server) Close() { s.jobs.close() }
 
 // Metrics exposes the registry (for embedding servers).
 func (s *Server) Metrics() *Metrics { return s.metrics }
@@ -192,11 +221,105 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	code, cacheState, resp, errMsg := s.execute(r.Context(), j)
+	var code int
+	var cacheState, errMsg string
+	var resp []byte
+	if j.opts.Level >= core.LevelOptimal {
+		code, cacheState, resp, errMsg = s.executeOptimal(r.Context(), j)
+	} else {
+		code, cacheState, resp, errMsg = s.execute(r.Context(), j)
+	}
 	if code == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
 	}
 	s.finish(w, r, start, code, cacheState, resp, errMsg)
+}
+
+// executeOptimal is the level=optimal request path: compute (or fetch)
+// the heuristic schedule exactly as a level=speculative request would —
+// the response bytes are byte-identical, they share the cache entry —
+// then enqueue the exact run as an async job and answer 202 with both.
+// The exact job is keyed by the optimal request's content address, so
+// identical submissions dedup onto one job and one forever-cached
+// result.
+func (s *Server) executeOptimal(parent context.Context, j *job) (code int, cacheState string, body []byte, errMsg string) {
+	jh := *j
+	jh.opts.Level = core.LevelSpeculative
+	jh.opts.ExactMaxBlock, jh.opts.ExactNodes = 0, 0
+	jh.key = contentKey(&jh)
+	code, cacheState, heur, errMsg := s.execute(parent, &jh)
+	if code != http.StatusOK {
+		return code, cacheState, heur, errMsg
+	}
+
+	status, ok := s.jobs.submit(j)
+	if !ok {
+		return http.StatusServiceUnavailable, "",
+			errorBody("exact job queue full"), "exact queue full"
+	}
+	id := j.key.String()
+	resp, err := json.Marshal(&AsyncResponse{
+		Heuristic: heur,
+		Job:       JobInfo{ID: id, Status: status, Poll: "/jobs/" + id},
+	})
+	if err != nil {
+		return http.StatusInternalServerError, "", errorBody("marshal: " + err.Error()), err.Error()
+	}
+	return http.StatusAccepted, cacheState, resp, ""
+}
+
+// handleJob answers GET /jobs/{id}: the job's state, its result once
+// done (byte-for-byte the stored exact response, forever), or its
+// failure diagnostic.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodGet {
+		s.finish(w, r, start, http.StatusMethodNotAllowed, "",
+			errorBody("GET only"), "method not allowed")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	key, err := parseJobID(id)
+	if err != nil {
+		s.finish(w, r, start, http.StatusBadRequest, "", errorBody(err.Error()), err.Error())
+		return
+	}
+	state, result, jobErr, ok := s.jobs.get(key)
+	if !ok {
+		s.finish(w, r, start, http.StatusNotFound, "", errorBody("unknown job"), "unknown job")
+		return
+	}
+	resp := &JobResponse{ID: id, Status: state}
+	switch state {
+	case jobDone:
+		resp.Result = result
+	case jobFailed:
+		resp.Error = jobErr
+	}
+	body, merr := json.Marshal(resp)
+	if merr != nil {
+		s.finish(w, r, start, http.StatusInternalServerError, "",
+			errorBody("marshal: "+merr.Error()), merr.Error())
+		return
+	}
+	s.finish(w, r, start, http.StatusOK, "", body, "")
+}
+
+// runExactJob executes one async exact job. The submitting request's
+// program was consumed by the heuristic run, so the job replays from
+// the canonical assembly captured at resolve time — also what makes the
+// result a pure function of the content key, regardless of which
+// textual source first submitted it.
+func (s *Server) runExactJob(ctx context.Context, spec *job) ([]byte, error) {
+	prog, err := asm.Parse(string(spec.canon))
+	if err != nil {
+		return nil, fmt.Errorf("reparse canonical program: %w", err)
+	}
+	j := *spec
+	j.prog = prog
+	j.panicd = false
+	j.opts.Trace = s.trace
+	return s.runJob(ctx, &j)
 }
 
 // errQueueWait marks a timeout while waiting for a worker slot, as
@@ -483,7 +606,7 @@ func (s *Server) finish(w http.ResponseWriter, r *http.Request, start time.Time,
 	w.Write(body)
 
 	d := time.Since(start)
-	s.metrics.ObserveRequest(r.URL.Path, code, d)
+	s.metrics.ObserveRequest(endpointLabel(r.URL.Path), code, d)
 	attrs := []any{
 		"method", r.Method,
 		"path", r.URL.Path,
@@ -502,6 +625,16 @@ func (s *Server) finish(w http.ResponseWriter, r *http.Request, start time.Time,
 	} else {
 		s.cfg.Logger.Info("request", attrs...)
 	}
+}
+
+// endpointLabel collapses per-job paths onto one metrics label: job ids
+// are content hashes, and a label per hash would grow the registry
+// without bound.
+func endpointLabel(path string) string {
+	if strings.HasPrefix(path, "/jobs/") {
+		return "/jobs"
+	}
+	return path
 }
 
 func errorBody(msg string) []byte {

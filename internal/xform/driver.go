@@ -144,6 +144,26 @@ func RunCtx(ctx context.Context, f *ir.Func, opts core.Options, cfgX Config) (St
 			return st, err
 		}
 	}
+
+	if opts.Level >= core.LevelOptimal {
+		if err := ctx.Err(); err != nil {
+			return st, fmt.Errorf("xform: cancelled: %w", err)
+		}
+		var snap *verify.Snapshot
+		if opts.Verify {
+			snap = verify.Capture(f)
+		}
+		done := opts.Trace.TimePhase(core.PhaseExact)
+		err := core.ExactPassCtx(ctx, f, &opts, &st.Stats)
+		done()
+		if err != nil {
+			return st, err
+		}
+		// The exact tier only permutes within blocks, like the post-pass.
+		if err := check(snap, verify.Rules{}); err != nil {
+			return st, err
+		}
+	}
 	return st, f.Validate()
 }
 
