@@ -22,6 +22,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -35,27 +36,41 @@ import (
 
 // Result is one benchmark's measurements. ReqPerS is present only for
 // the serving benchmarks (it is requests, not iterations, per second —
-// identical here because each iteration is one request).
+// identical here because each iteration is one request). Nodes and the
+// hit-ratio fields describe the cluster benchmarks: TargetHitRatio is
+// the request mix the client aimed for, HitRatio the ratio the store
+// counters actually measured (memory + disk + peer hits over lookups).
 type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     int64   `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	ReqPerS     float64 `json:"req_per_s,omitempty"`
+	Name           string  `json:"name"`
+	Iterations     int     `json:"iterations"`
+	NsPerOp        int64   `json:"ns_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+	ReqPerS        float64 `json:"req_per_s,omitempty"`
+	Nodes          int     `json:"nodes,omitempty"`
+	TargetHitRatio float64 `json:"target_hit_ratio,omitempty"`
+	HitRatio       float64 `json:"hit_ratio,omitempty"`
+	ReqPerSPerCore float64 `json:"req_per_s_per_core,omitempty"`
 }
 
-// Report is the top-level JSON document.
+// Report is the top-level JSON document. NumCPU is the machine's CPU
+// count; GoMaxProcs is what the benchmarks could actually use — on a
+// quota-limited container the two differ, and req/s-per-core math must
+// divide by GoMaxProcs, not NumCPU.
 type Report struct {
 	GeneratedAt string   `json:"generated_at"`
 	GoVersion   string   `json:"go_version"`
 	NumCPU      int      `json:"num_cpu"`
+	GoMaxProcs  int      `json:"go_max_procs"`
+	Parallel    int      `json:"client_parallelism"`
 	Benchmarks  []Result `json:"benchmarks"`
 }
 
 func main() {
 	out := flag.String("o", "BENCH_schedule.json", "output file (- for stdout)")
 	benchtime := flag.String("benchtime", "1s", "per-benchmark measuring time")
+	parallel := flag.Int("parallel", 4, "client goroutines per GOMAXPROCS in the serving benchmarks")
+	clusterBench := flag.Bool("cluster", true, "include the 3-node cluster capacity benchmarks")
 	testing.Init()
 	flag.Parse()
 	if err := flag.Lookup("test.benchtime").Value.Set(*benchtime); err != nil {
@@ -67,17 +82,38 @@ func main() {
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		NumCPU:      runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Parallel:    *parallel,
 	}
-	for _, b := range []struct {
+	type bench struct {
 		name  string
 		reqps bool
+		extra *Result // cluster/restart measurements filled by the bench
 		fn    func(*testing.B)
-	}{
-		{"scheduler_throughput", false, benchSchedulerThroughput},
-		{"schedule_only_li", false, benchScheduleOnlyLI},
-		{"serve_hit", true, benchServeHit},
-		{"serve_miss", true, benchServeMiss},
-	} {
+	}
+	benches := []bench{
+		{name: "scheduler_throughput", fn: benchSchedulerThroughput},
+		{name: "schedule_only_li", fn: benchScheduleOnlyLI},
+		{name: "serve_hit", reqps: true, fn: benchServeHit(*parallel)},
+		{name: "serve_miss", reqps: true, fn: benchServeMiss(*parallel)},
+	}
+	{
+		extra := &Result{}
+		benches = append(benches, bench{name: "serve_disk_warm_restart", reqps: true, extra: extra,
+			fn: benchDiskWarmRestart(*parallel, extra)})
+	}
+	if *clusterBench {
+		for _, hr := range []float64{0, 0.5, 0.9, 0.99} {
+			extra := &Result{}
+			benches = append(benches, bench{
+				name:  fmt.Sprintf("cluster3_hit%02d", int(hr*100)),
+				reqps: true,
+				extra: extra,
+				fn:    benchCluster3(hr, *parallel, extra),
+			})
+		}
+	}
+	for _, b := range benches {
 		fmt.Fprintf(os.Stderr, "running %s...\n", b.name)
 		res := testing.Benchmark(b.fn)
 		r := Result{
@@ -89,6 +125,12 @@ func main() {
 		}
 		if b.reqps && res.T > 0 {
 			r.ReqPerS = float64(res.N) / res.T.Seconds()
+			r.ReqPerSPerCore = r.ReqPerS / float64(report.GoMaxProcs)
+		}
+		if b.extra != nil {
+			r.Nodes = b.extra.Nodes
+			r.TargetHitRatio = b.extra.TargetHitRatio
+			r.HitRatio = b.extra.HitRatio
 		}
 		report.Benchmarks = append(report.Benchmarks, r)
 		fmt.Fprintf(os.Stderr, "  %d iters, %d ns/op, %d allocs/op\n",
@@ -150,7 +192,11 @@ func benchScheduleOnlyLI(b *testing.B) {
 
 func quietServer(cfg serve.Config) (*serve.Server, *httptest.Server) {
 	cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
-	s := serve.New(cfg)
+	s, err := serve.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
 	return s, httptest.NewServer(s.Handler())
 }
 
@@ -167,51 +213,205 @@ func postOnce(url string, body []byte) error {
 	return nil
 }
 
-// benchServeHit is BenchmarkServeThroughput: a warm cache served over
-// HTTP, concurrent clients.
-func benchServeHit(b *testing.B) {
-	_, ts := quietServer(serve.Config{Workers: 4, QueueDepth: 1 << 20})
-	defer ts.Close()
+// scheduleBody marshals a /schedule request for the progen program at
+// seed.
+func scheduleBody(seed int64) []byte {
+	body, err := json.Marshal(&serve.Request{Source: progen.New(seed).Source})
+	if err != nil {
+		panic(err)
+	}
+	return body
+}
 
-	corpus := make([][]byte, 8)
-	for i := range corpus {
-		body, err := json.Marshal(&serve.Request{Source: progen.New(int64(i)).Source})
+// benchServeHit is BenchmarkServeThroughput: a warm cache served over
+// HTTP, parallel clients.
+func benchServeHit(parallel int) func(*testing.B) {
+	return func(b *testing.B) {
+		s, ts := quietServer(serve.Config{Workers: 4, QueueDepth: 1 << 20})
+		defer ts.Close()
+		defer s.Close()
+
+		corpus := make([][]byte, 8)
+		for i := range corpus {
+			corpus[i] = scheduleBody(int64(i))
+			if err := postOnce(ts.URL+"/schedule", corpus[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+
+		b.SetParallelism(parallel)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if err := postOnce(ts.URL+"/schedule", corpus[i%len(corpus)]); err != nil {
+					b.Error(err)
+					return
+				}
+				i++
+			}
+		})
+	}
+}
+
+// benchServeMiss is BenchmarkServeMiss with parallel clients: caching
+// disabled and every request a distinct program, so every request runs
+// the pipeline (identical concurrent requests would otherwise collapse
+// onto one run via single-flight and overstate throughput).
+func benchServeMiss(parallel int) func(*testing.B) {
+	return func(b *testing.B) {
+		s, ts := quietServer(serve.Config{Workers: 4, QueueDepth: 1 << 20, CacheBytes: -1})
+		defer ts.Close()
+		defer s.Close()
+
+		var seq atomic.Int64
+		b.SetParallelism(parallel)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				body := scheduleBody(1_000_000 + seq.Add(1))
+				if err := postOnce(ts.URL+"/schedule", body); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	}
+}
+
+// benchDiskWarmRestart measures the warm-start path: a server computes
+// a corpus into its disk tier, dies, and its successor serves the same
+// corpus from disk files with zero pipeline runs. The recorded
+// HitRatio is the successor's measured store hit ratio (1.0 when every
+// request warm-started).
+func benchDiskWarmRestart(parallel int, rec *Result) func(*testing.B) {
+	return func(b *testing.B) {
+		dir := b.TempDir()
+		const corpusN = 16
+		corpus := make([][]byte, corpusN)
+		s1, ts1 := quietServer(serve.Config{Workers: 4, CacheDir: dir})
+		for i := range corpus {
+			corpus[i] = scheduleBody(int64(2_000_000 + i))
+			if err := postOnce(ts1.URL+"/schedule", corpus[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		ts1.Close()
+		s1.Close()
+
+		// The successor: same directory, cold memory. Shrink the memory
+		// tier below the corpus so requests keep reaching the disk tier
+		// instead of being absorbed by RAM after the first touch.
+		s2, ts2 := quietServer(serve.Config{Workers: 4, QueueDepth: 1 << 20,
+			CacheDir: dir, CacheBytes: 1})
+		defer ts2.Close()
+		defer s2.Close()
+
+		var seq atomic.Int64
+		b.SetParallelism(parallel)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				body := corpus[seq.Add(1)%corpusN]
+				if err := postOnce(ts2.URL+"/schedule", body); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.StopTimer()
+
+		var hits, lookups float64
+		for _, st := range s2.StoreStats() {
+			hits += float64(st.Hits)
+			if st.Tier == "memory" {
+				lookups = float64(st.Hits + st.Misses)
+			}
+		}
+		rec.Nodes = 1
+		rec.TargetHitRatio = 1
+		if lookups > 0 {
+			rec.HitRatio = hits / lookups
+		}
+	}
+}
+
+// clusterTierTotals sums (memory+disk+peer hits, lookups) across all
+// nodes; lookups is the memory tier's hits+misses, the top of every
+// store walk.
+func clusterTierTotals(c *serve.Cluster, n int) (hits, lookups float64) {
+	for i := 0; i < n; i++ {
+		s := c.Server(i)
+		if s == nil {
+			continue
+		}
+		for _, st := range s.StoreStats() {
+			hits += float64(st.Hits)
+			if st.Tier == "memory" {
+				lookups += float64(st.Hits + st.Misses)
+			}
+		}
+	}
+	return hits, lookups
+}
+
+// benchCluster3 measures a 3-node in-process cluster at a target hit
+// ratio: a warmed corpus supplies the hits (memory, disk or peer —
+// whatever tier answers first), fresh programs supply the misses, and
+// requests round-robin across nodes. The recorded HitRatio is what the
+// store counters measured over the timed window.
+func benchCluster3(hitRatio float64, parallel int, rec *Result) func(*testing.B) {
+	return func(b *testing.B) {
+		const nodes = 3
+		cfg := serve.Config{Workers: 2, QueueDepth: 1 << 20,
+			Logger: slog.New(slog.NewTextHandler(io.Discard, nil))}
+		c, err := serve.StartCluster(nodes, cfg, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
-		corpus[i] = body
-		if err := postOnce(ts.URL+"/schedule", body); err != nil {
-			b.Fatal(err)
-		}
-	}
+		defer c.Close()
+		urls := c.URLs()
 
-	b.ResetTimer()
-	b.RunParallel(func(pb *testing.PB) {
-		i := 0
-		for pb.Next() {
-			if err := postOnce(ts.URL+"/schedule", corpus[i%len(corpus)]); err != nil {
-				b.Error(err)
-				return
+		const corpusN = 16
+		corpus := make([][]byte, corpusN)
+		for i := range corpus {
+			corpus[i] = scheduleBody(int64(3_000_000 + i))
+			// Touch every node so replication and promotion settle
+			// before the timer starts.
+			for k := 0; k < nodes; k++ {
+				if err := postOnce(urls[k]+"/schedule", corpus[i]); err != nil {
+					b.Fatal(err)
+				}
 			}
-			i++
 		}
-	})
-}
 
-// benchServeMiss is BenchmarkServeMiss: caching disabled, every request
-// runs the pipeline.
-func benchServeMiss(b *testing.B) {
-	_, ts := quietServer(serve.Config{Workers: 4, QueueDepth: 1 << 20, CacheBytes: -1})
-	defer ts.Close()
+		hitsBefore, lookupsBefore := clusterTierTotals(c, nodes)
+		hitCut := int64(hitRatio * 100)
+		var seq atomic.Int64
+		b.SetParallelism(parallel)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := seq.Add(1)
+				var body []byte
+				if i%100 < hitCut {
+					body = corpus[i%corpusN]
+				} else {
+					body = scheduleBody(4_000_000 + i)
+				}
+				if err := postOnce(urls[i%nodes]+"/schedule", body); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.StopTimer()
 
-	body, err := json.Marshal(&serve.Request{Source: progen.New(3).Source})
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := postOnce(ts.URL+"/schedule", body); err != nil {
-			b.Fatal(err)
+		hitsAfter, lookupsAfter := clusterTierTotals(c, nodes)
+		rec.Nodes = nodes
+		rec.TargetHitRatio = hitRatio
+		if d := lookupsAfter - lookupsBefore; d > 0 {
+			rec.HitRatio = (hitsAfter - hitsBefore) / d
 		}
 	}
 }

@@ -38,6 +38,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -48,7 +49,9 @@ var (
 	addr       = flag.String("addr", ":8421", "listen address")
 	workers    = flag.Int("workers", runtime.NumCPU(), "concurrent scheduling jobs")
 	queue      = flag.Int("queue", 0, "admitted jobs waiting beyond the workers before 503 (default 2×workers)")
-	cacheMB    = flag.Int64("cache-mb", 64, "response cache size in MiB (negative disables)")
+	cacheMB    = flag.Int64("cache-mb", 64, "in-memory response cache size in MiB (negative disables the whole store stack)")
+	cacheDir   = flag.String("cache-dir", "", "persistent cache directory (empty: memory only)")
+	diskMB     = flag.Int64("disk-mb", 256, "on-disk cache size in MiB (needs -cache-dir)")
 	timeout    = flag.Duration("timeout", 30*time.Second, "per-request scheduling budget")
 	maxBody    = flag.Int64("max-body", 4<<20, "request body limit in bytes (413 above)")
 	drain      = flag.Duration("drain", 30*time.Second, "graceful shutdown budget for in-flight requests")
@@ -58,6 +61,11 @@ var (
 	exactWorkers = flag.Int("exact-workers", 1, "concurrent exact-tier (level=optimal) jobs")
 	exactQueue   = flag.Int("exact-queue", 16, "queued exact jobs before 503")
 	exactTimeout = flag.Duration("exact-timeout", 60*time.Second, "per-job deadline for exact runs")
+
+	self           = flag.String("self", "", "this node's advertised base URL, e.g. http://10.0.0.1:8421 (required with -peers)")
+	peers          = flag.String("peers", "", "comma-separated base URLs of the other cluster nodes (enables the peer tier)")
+	peerTimeout    = flag.Duration("peer-timeout", 500*time.Millisecond, "budget for one peer conversation before computing locally")
+	replicateAfter = flag.Int("replicate-after", 2, "peer fetches of a key before it is replicated locally (negative: first fetch)")
 )
 
 func main() {
@@ -81,18 +89,33 @@ func run() error {
 	if *cacheMB < 0 {
 		cacheBytes = -1
 	}
-	srv := serve.New(serve.Config{
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+	srv, err := serve.New(serve.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		MaxBodyBytes:    *maxBody,
 		Timeout:         *timeout,
 		CacheBytes:      cacheBytes,
+		CacheDir:        *cacheDir,
+		DiskCacheBytes:  *diskMB << 20,
+		Self:            *self,
+		Peers:           peerList,
+		PeerTimeout:     *peerTimeout,
+		ReplicateAfter:  *replicateAfter,
 		ExactWorkers:    *exactWorkers,
 		ExactQueueDepth: *exactQueue,
 		ExactTimeout:    *exactTimeout,
 		AllowDebugPanic: *debugPanic,
 		Logger:          logger,
 	})
+	if err != nil {
+		return err
+	}
 	defer srv.Close()
 
 	hs := &http.Server{

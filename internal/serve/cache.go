@@ -178,6 +178,15 @@ func (g *flightGroup) join(key Key) (*flight, bool) {
 	return fl, true
 }
 
+// current returns the in-progress flight for key, or nil. The peer
+// protocol's read path uses it to park a peer on a computation this
+// node already started instead of telling it to duplicate the work.
+func (g *flightGroup) current(key Key) *flight {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.flights[key]
+}
+
 // leave publishes the leader's result and wakes the followers.
 func (g *flightGroup) leave(key Key, fl *flight, body []byte, err error) {
 	g.mu.Lock()

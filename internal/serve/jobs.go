@@ -54,6 +54,12 @@ type ExactStats struct {
 	Failed    int64 // jobs finished with an error (deadline, verifier, panic)
 	Queued    int64 // gauge: accepted, waiting for a worker
 	Running   int64 // gauge: currently scheduling
+	// Warm counts jobs answered straight from the store stack — a
+	// previous process or another node already proved this key's
+	// optimum, so no search ran. A warm POST counts as Submitted and
+	// Completed too (the balance above still holds); a warm poll of an
+	// id unknown to this process counts only here.
+	Warm int64
 }
 
 // exactJob is one job's record; guarded by the manager's mutex.
@@ -65,12 +71,24 @@ type exactJob struct {
 }
 
 // jobManager owns the exact-tier queue, workers and forever-store.
+// When lookup/persist are wired (a server with a store stack), exact
+// results also flow through the content-addressed tiers: persist
+// writes a finished body to memory + disk + the owning peer, and
+// lookup answers a submission or poll from any tier — so a schedule
+// proven optimal once is never searched for again, across restarts
+// and across nodes.
 type jobManager struct {
 	queue   chan *exactJob
 	stop    chan struct{}
 	wg      sync.WaitGroup
 	timeout time.Duration
 	run     func(ctx context.Context, spec *job) ([]byte, error)
+
+	// lookup consults the store stack without request-path accounting;
+	// persist stores a finished result everywhere. Either may be nil
+	// (manager without a store).
+	lookup  func(key Key) ([]byte, bool)
+	persist func(key Key, body []byte)
 
 	mu     sync.Mutex
 	jobs   map[Key]*exactJob
@@ -99,18 +117,51 @@ func newJobManager(workers, depth int, timeout time.Duration,
 // returns the job's current state and whether the submission was
 // admitted; !ok means the queue is full (or the manager closed) and the
 // client should retry later. A previously failed job is retried by
-// re-enqueueing it; queued, running and done jobs dedup.
+// re-enqueueing it; queued, running and done jobs dedup. A key whose
+// proven result already sits in the store stack (an earlier process,
+// another node) is recorded done immediately — warm keys run zero
+// searches.
 func (m *jobManager) submit(spec *job) (state string, ok bool) {
+	m.mu.Lock()
+	if m.closed {
+		m.stats.Rejected++
+		m.mu.Unlock()
+		return "", false
+	}
+	if ej := m.jobs[spec.key]; ej != nil && ej.state != jobFailed {
+		m.stats.Deduped++
+		state := ej.state
+		m.mu.Unlock()
+		return state, true
+	}
+	m.mu.Unlock()
+
+	// Warm lookup outside the lock: the store stack may touch disk or
+	// a peer, and the manager must keep serving polls meanwhile.
+	var warmBody []byte
+	if m.lookup != nil {
+		warmBody, _ = m.lookup(spec.key)
+	}
+
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
 		m.stats.Rejected++
 		return "", false
 	}
+	// Re-check: a racing submission may have installed the job.
 	ej := m.jobs[spec.key]
 	if ej != nil && ej.state != jobFailed {
 		m.stats.Deduped++
 		return ej.state, true
+	}
+	if ej == nil && warmBody != nil {
+		ej = &exactJob{spec: spec, state: jobDone, body: warmBody}
+		m.jobs[spec.key] = ej
+		m.stats.Submitted++
+		m.stats.Completed++
+		m.stats.Warm++
+		return jobDone, true
 	}
 	if ej == nil {
 		ej = &exactJob{spec: spec}
@@ -130,13 +181,32 @@ func (m *jobManager) submit(spec *job) (state string, ok bool) {
 }
 
 // get reports a job's state and, when finished, its result or error.
+// An id this process has never seen may still name a finished job —
+// one completed before a restart or on another node — so an unknown
+// key falls back to the store stack before answering "no such job".
 func (m *jobManager) get(key Key) (state string, body []byte, errMsg string, ok bool) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	ej := m.jobs[key]
+	m.mu.Unlock()
 	if ej == nil {
-		return "", nil, "", false
+		if m.lookup == nil {
+			return "", nil, "", false
+		}
+		stored, found := m.lookup(key)
+		if !found {
+			return "", nil, "", false
+		}
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if cur := m.jobs[key]; cur != nil {
+			return cur.state, cur.body, cur.errMsg, true
+		}
+		m.jobs[key] = &exactJob{state: jobDone, body: stored}
+		m.stats.Warm++
+		return jobDone, stored, "", true
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	return ej.state, ej.body, ej.errMsg, true
 }
 
@@ -164,6 +234,13 @@ func (m *jobManager) worker() {
 			body, err := m.run(ctx, ej.spec)
 			cancel()
 
+			if err == nil && m.persist != nil {
+				// Through the same stack as synchronous responses:
+				// RAM, disk (restart-proof), the owning peer. Proven
+				// optima are the most expensive bytes we make — they
+				// are never searched for twice.
+				m.persist(ej.spec.key, body)
+			}
 			m.mu.Lock()
 			if err != nil {
 				ej.state = jobFailed

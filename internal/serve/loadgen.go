@@ -15,14 +15,24 @@ import (
 	"gsched/internal/progen"
 )
 
-// LoadResult tallies one load-generation run against a server.
+// LoadResult tallies one load-generation run against a server or a
+// cluster of servers.
 type LoadResult struct {
 	// Total requests sent.
 	Total int
 	// Codes counts responses by HTTP status.
 	Codes map[int]int
-	// HitHeaders / MissHeaders count X-Cache response headers.
-	HitHeaders, MissHeaders int
+	// HitHeaders counts X-Cache: hit (memory tier); DiskHeaders and
+	// PeerHeaders the persistent and peer tiers; MissHeaders computed
+	// responses.
+	HitHeaders, DiskHeaders, PeerHeaders, MissHeaders int
+	// Bodies maps request class to the first 200 body observed — the
+	// canonical bytes for that class, for cross-run byte-identity
+	// checks (single node vs cluster vs post-restart).
+	Bodies map[string][]byte
+	// Errors counts transport failures, tallied only under
+	// LoadOptions.Tolerate (a node killed mid-run).
+	Errors int
 	// Mismatches lists determinism violations: repeated requests whose
 	// 200 bodies differed.
 	Mismatches []string
@@ -34,6 +44,39 @@ type loadSpec struct {
 	class string
 }
 
+// LoadOptions parameterizes Load. The zero value (plus one target) is
+// the classic MixedLoad: uniform corpus picks, error probes included.
+type LoadOptions struct {
+	// Targets are the base URLs load is spread across, round-robin.
+	// One target is single-node mode.
+	Targets []string
+	// N is the total request count (floored at 8).
+	N int
+	// Concurrency is the client worker count (floored at 1).
+	Concurrency int
+	// Seed drives the request mix; equal seeds produce the identical
+	// request sequence (the corpus key space is seed-independent, so
+	// runs with different seeds still share cache entries).
+	Seed int64
+	// CorpusSize is the number of distinct repeated programs (default
+	// 4). Repeats are cache hits after first contact.
+	CorpusSize int
+	// Zipf skews corpus popularity (s=1.2) instead of uniform picks:
+	// the realistic hot-key distribution for replication tests.
+	Zipf bool
+	// SkipErrors drops the always-504 timeout probe and the always-400
+	// malformed probe, so a warm run performs zero pipeline executions.
+	SkipErrors bool
+	// WithPanic adds one debug_panic request (server must run with
+	// AllowDebugPanic).
+	WithPanic bool
+	// Tolerate counts transport errors (connection refused/reset — a
+	// node died mid-run) in LoadResult.Errors instead of failing the
+	// run. Kill/restart soaks need it; the failed requests simply
+	// don't tally.
+	Tolerate bool
+}
+
 // MixedLoad drives n mixed requests at the server's /schedule endpoint
 // with the given concurrency: a small corpus of repeated programs
 // (guaranteed cache hits after first contact), a stream of unique
@@ -42,18 +85,40 @@ type loadSpec struct {
 // server must run with AllowDebugPanic). It verifies that repeated
 // requests return byte-identical bodies regardless of interleaving.
 func MixedLoad(baseURL string, n, concurrency int, withPanic bool) (*LoadResult, error) {
-	if n < 8 {
-		n = 8
-	}
-	if concurrency < 1 {
-		concurrency = 1
-	}
-	rng := rand.New(rand.NewSource(1))
+	return Load(LoadOptions{
+		Targets:     []string{baseURL},
+		N:           n,
+		Concurrency: concurrency,
+		WithPanic:   withPanic,
+	})
+}
 
-	// A fixed corpus of 4 programs absorbs half the load: every
-	// program is requested many times, so hits dominate repeats.
+// Load drives a mixed request stream at one or more gschedd nodes and
+// tallies responses. Requests round-robin across Targets, so in
+// cluster mode every node sees every request class and the determinism
+// check spans nodes: a corpus program answered by node A must be
+// byte-identical to the same program answered by node B.
+func Load(opts LoadOptions) (*LoadResult, error) {
+	if len(opts.Targets) == 0 {
+		return nil, fmt.Errorf("load: no targets")
+	}
+	n := max(opts.N, 8)
+	concurrency := max(opts.Concurrency, 1)
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	corpusSize := opts.CorpusSize
+	if corpusSize <= 0 {
+		corpusSize = 4
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// A fixed corpus absorbs half the load: every program is requested
+	// many times, so hits dominate repeats. Corpus keys depend only on
+	// the index, never the seed — different runs warm the same entries.
 	var corpus []loadSpec
-	for i := 0; i < 4; i++ {
+	for i := 0; i < corpusSize; i++ {
 		src := progen.New(int64(100 + i)).Source
 		body, err := json.Marshal(&Request{Source: src})
 		if err != nil {
@@ -61,14 +126,30 @@ func MixedLoad(baseURL string, n, concurrency int, withPanic bool) (*LoadResult,
 		}
 		corpus = append(corpus, loadSpec{body: body, class: fmt.Sprintf("corpus%d", i)})
 	}
+	var zipf *rand.Zipf
+	if opts.Zipf {
+		zipf = rand.NewZipf(rng, 1.2, 1, uint64(len(corpus)-1))
+	}
+	pick := func() loadSpec {
+		if zipf != nil {
+			return corpus[zipf.Uint64()]
+		}
+		return corpus[rng.Intn(len(corpus))]
+	}
 
+	probes := 2
+	if opts.SkipErrors {
+		probes = 0
+	}
 	var specs []loadSpec
-	for len(specs) < n-3 {
+	for len(specs) < n-probes-1 {
 		if rng.Intn(2) == 0 || len(specs) < len(corpus) {
-			specs = append(specs, corpus[rng.Intn(len(corpus))])
+			specs = append(specs, pick())
 		} else {
 			// A unique program: first and only visit, a guaranteed miss.
-			src := progen.New(int64(1000 + len(specs))).Source
+			// Seeded by the run seed so separate runs miss on separate
+			// keys.
+			src := progen.New(1000 + seed*100_000 + int64(len(specs))).Source
 			body, err := json.Marshal(&Request{Source: src})
 			if err != nil {
 				return nil, err
@@ -76,36 +157,50 @@ func MixedLoad(baseURL string, n, concurrency int, withPanic bool) (*LoadResult,
 			specs = append(specs, loadSpec{body: body, class: fmt.Sprintf("unique%d", len(specs))})
 		}
 	}
-	// One request with a budget no schedule can meet (1ns): always 504.
-	tbody, err := json.Marshal(&Request{Source: progen.New(7777).Source, TimeoutMs: 0.000001})
-	if err != nil {
-		return nil, err
+	if !opts.SkipErrors {
+		// One request with a budget no schedule can meet (1ns): always 504.
+		tbody, err := json.Marshal(&Request{Source: progen.New(7777).Source, TimeoutMs: 0.000001})
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, loadSpec{body: tbody, class: "timeout"})
+		// One malformed program: always 400 with a parse diagnostic.
+		specs = append(specs, loadSpec{body: []byte(`{"source":"int main( {"}`), class: "invalid"})
 	}
-	specs = append(specs, loadSpec{body: tbody, class: "timeout"})
-	// One malformed program: always 400 with a parse diagnostic.
-	specs = append(specs, loadSpec{body: []byte(`{"source":"int main( {"}`), class: "invalid"})
-	if withPanic {
+	if opts.WithPanic {
 		pbody, err := json.Marshal(&Request{Source: progen.New(8888).Source, DebugPanic: true})
 		if err != nil {
 			return nil, err
 		}
 		specs = append(specs, loadSpec{body: pbody, class: "panic"})
 	}
+	for len(specs) < n {
+		specs = append(specs, pick())
+	}
 	rng.Shuffle(len(specs), func(i, k int) { specs[i], specs[k] = specs[k], specs[i] })
 
-	res := &LoadResult{Codes: make(map[int]int)}
-	bodies := make(map[string][]byte) // class -> first 200 body
+	res := &LoadResult{Codes: make(map[int]int), Bodies: make(map[string][]byte)}
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	work := make(chan loadSpec)
+	type workItem struct {
+		spec   loadSpec
+		target string
+	}
+	work := make(chan workItem)
 	errCh := make(chan error, concurrency)
 	for w := 0; w < concurrency; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for spec := range work {
-				code, cache, body, err := postSchedule(baseURL, spec.body)
+			for item := range work {
+				code, cache, body, err := postSchedule(item.target, item.spec.body)
 				if err != nil {
+					if opts.Tolerate {
+						mu.Lock()
+						res.Errors++
+						mu.Unlock()
+						continue
+					}
 					select {
 					case errCh <- err:
 					default:
@@ -118,23 +213,27 @@ func MixedLoad(baseURL string, n, concurrency int, withPanic bool) (*LoadResult,
 				switch cache {
 				case "hit":
 					res.HitHeaders++
+				case "disk":
+					res.DiskHeaders++
+				case "peer":
+					res.PeerHeaders++
 				case "miss":
 					res.MissHeaders++
 				}
 				if code == http.StatusOK {
-					if prev, ok := bodies[spec.class]; !ok {
-						bodies[spec.class] = body
+					if prev, ok := res.Bodies[item.spec.class]; !ok {
+						res.Bodies[item.spec.class] = body
 					} else if !bytes.Equal(prev, body) {
 						res.Mismatches = append(res.Mismatches,
-							fmt.Sprintf("%s: response bodies differ across repeats", spec.class))
+							fmt.Sprintf("%s: response bodies differ across repeats", item.spec.class))
 					}
 				}
 				mu.Unlock()
 			}
 		}()
 	}
-	for _, spec := range specs {
-		work <- spec
+	for i, spec := range specs {
+		work <- workItem{spec: spec, target: opts.Targets[i%len(opts.Targets)]}
 	}
 	close(work)
 	wg.Wait()
@@ -196,12 +295,30 @@ func ParseMetrics(r io.Reader) (map[string]float64, error) {
 	return out, sc.Err()
 }
 
+// SumMetrics adds per-series values across several scrapes: the
+// cluster-wide view. Counter identities that hold per node (each
+// request is counted exactly once, on exactly one node) survive the
+// sum, so CheckCounters accepts the aggregate.
+func SumMetrics(ms ...map[string]float64) map[string]float64 {
+	out := make(map[string]float64)
+	for _, m := range ms {
+		for k, v := range m {
+			out[k] += v
+		}
+	}
+	return out
+}
+
 // CheckCounters validates the scraped metrics of a freshly booted
-// server against this run's tallies:
+// server (or the SumMetrics aggregate of a freshly booted cluster)
+// against this run's tallies:
 //
-//   - every request that reached the cache (200, 504, 500, 422) is
-//     counted exactly once as a hit or a miss;
-//   - the hit counter equals the X-Cache: hit headers handed out;
+//   - every request that reached the store (200, 504, 500, 422) is
+//     counted exactly once: memory hit, disk hit, peer hit, or a
+//     compute — the tier identity
+//     memory hits + disk hits + peer hits + computes == lookups;
+//   - each tier's hit counter equals the X-Cache headers handed out
+//     for it (hit / disk / peer);
 //   - /schedule request counts by code match the client's view;
 //   - repeated requests returned byte-identical bodies.
 func (r *LoadResult) CheckCounters(m map[string]float64) error {
@@ -210,13 +327,33 @@ func (r *LoadResult) CheckCounters(m map[string]float64) error {
 	}
 	hits := m["gschedd_cache_hits_total"]
 	misses := m["gschedd_cache_misses_total"]
-	lookups := r.Codes[200] + r.Codes[504] + r.Codes[500] + r.Codes[422]
+	lookups := r.Codes[200] + r.Codes[202] + r.Codes[504] + r.Codes[500] + r.Codes[422]
 	if int(hits+misses) != lookups {
 		return fmt.Errorf("cache hits (%g) + misses (%g) = %g, want %d lookups (codes %v)",
 			hits, misses, hits+misses, lookups, r.Codes)
 	}
 	if int(hits) != r.HitHeaders {
 		return fmt.Errorf("cache hits %g but %d X-Cache: hit headers", hits, r.HitHeaders)
+	}
+	if _, ok := m[`gschedd_store_hits_total{tier="memory"}`]; ok {
+		memHits := m[`gschedd_store_hits_total{tier="memory"}`]
+		diskHits := m[`gschedd_store_hits_total{tier="disk"}`]
+		peerHits := m[`gschedd_store_hits_total{tier="peer"}`]
+		computes := m["gschedd_store_computes_total"]
+		if int(memHits+diskHits+peerHits+computes) != lookups {
+			return fmt.Errorf("memory hits (%g) + disk hits (%g) + peer hits (%g) + computes (%g) = %g, want %d lookups (codes %v)",
+				memHits, diskHits, peerHits, computes,
+				memHits+diskHits+peerHits+computes, lookups, r.Codes)
+		}
+		if int(memHits) != r.HitHeaders {
+			return fmt.Errorf("memory tier hits %g but %d X-Cache: hit headers", memHits, r.HitHeaders)
+		}
+		if int(diskHits) != r.DiskHeaders {
+			return fmt.Errorf("disk tier hits %g but %d X-Cache: disk headers", diskHits, r.DiskHeaders)
+		}
+		if int(peerHits) != r.PeerHeaders {
+			return fmt.Errorf("peer tier hits %g but %d X-Cache: peer headers", peerHits, r.PeerHeaders)
+		}
 	}
 	for code, n := range r.Codes {
 		series := fmt.Sprintf(`gschedd_requests_total{endpoint="/schedule",code="%d"}`, code)

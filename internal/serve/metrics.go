@@ -54,6 +54,13 @@ type Metrics struct {
 	cache *Cache
 	trace *core.Trace
 
+	// stores samples every store tier's counters; replications and
+	// computes sample the stack-level counters. All nil for servers
+	// without a store.
+	stores       func() []StoreStats
+	replications func() int64
+	computes     func() int64
+
 	// exact samples the async exact-tier job counters; nil for servers
 	// without a job manager.
 	exact func() ExactStats
@@ -150,6 +157,51 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		fmt.Fprintf(cw, "gschedd_cache_entries %d\n", cs.Entries)
 	}
 
+	if m.stores != nil {
+		tiers := m.stores()
+		writeTier := func(name, help, typ string, v func(StoreStats) int64) {
+			fmt.Fprintf(cw, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+			for _, t := range tiers {
+				fmt.Fprintf(cw, "%s{tier=%q} %d\n", name, t.Tier, v(t))
+			}
+		}
+		writeTier("gschedd_store_hits_total", "Store lookups served by this tier.", "counter",
+			func(t StoreStats) int64 { return t.Hits })
+		writeTier("gschedd_store_misses_total", "Store lookups this tier could not serve.", "counter",
+			func(t StoreStats) int64 { return t.Misses })
+		writeTier("gschedd_store_puts_total", "Bodies stored into this tier.", "counter",
+			func(t StoreStats) int64 { return t.Puts })
+		writeTier("gschedd_store_evictions_total", "Entries evicted from this tier.", "counter",
+			func(t StoreStats) int64 { return t.Evictions })
+		writeTier("gschedd_store_errors_total", "Tier failures: IO errors, corrupt entries deleted, failed peer calls.", "counter",
+			func(t StoreStats) int64 { return t.Errors })
+		writeTier("gschedd_store_bytes", "Bytes held by this tier.", "gauge",
+			func(t StoreStats) int64 { return t.Bytes })
+		writeTier("gschedd_store_entries", "Entries held by this tier (open claims for the peer tier).", "gauge",
+			func(t StoreStats) int64 { return int64(t.Entries) })
+		for _, t := range tiers {
+			if t.Tier != "peer" {
+				continue
+			}
+			fmt.Fprintf(cw, "# HELP gschedd_store_peer_fetches_total Owner fetches attempted.\n# TYPE gschedd_store_peer_fetches_total counter\n")
+			fmt.Fprintf(cw, "gschedd_store_peer_fetches_total %d\n", t.Fetches)
+			fmt.Fprintf(cw, "# HELP gschedd_store_peer_timeouts_total Owner fetches abandoned at the peer timeout.\n# TYPE gschedd_store_peer_timeouts_total counter\n")
+			fmt.Fprintf(cw, "gschedd_store_peer_timeouts_total %d\n", t.Timeouts)
+			fmt.Fprintf(cw, "# HELP gschedd_store_peer_backfills_total Computed bodies pushed to their owning node.\n# TYPE gschedd_store_peer_backfills_total counter\n")
+			fmt.Fprintf(cw, "gschedd_store_peer_backfills_total %d\n", t.Backfill)
+			fmt.Fprintf(cw, "# HELP gschedd_store_peer_served_total Internal-protocol reads answered for peers.\n# TYPE gschedd_store_peer_served_total counter\n")
+			fmt.Fprintf(cw, "gschedd_store_peer_served_total %d\n", t.Served)
+		}
+		if m.replications != nil {
+			fmt.Fprintf(cw, "# HELP gschedd_store_replications_total Hot keys copied from their owner into the local tiers.\n# TYPE gschedd_store_replications_total counter\n")
+			fmt.Fprintf(cw, "gschedd_store_replications_total %d\n", m.replications())
+		}
+		if m.computes != nil {
+			fmt.Fprintf(cw, "# HELP gschedd_store_computes_total Lookups that missed every tier and scheduled a computation (single-flight may collapse several into one run).\n# TYPE gschedd_store_computes_total counter\n")
+			fmt.Fprintf(cw, "gschedd_store_computes_total %d\n", m.computes())
+		}
+	}
+
 	if m.queueDepth != nil {
 		fmt.Fprintf(cw, "# HELP gschedd_queue_depth Requests admitted but waiting for a worker.\n# TYPE gschedd_queue_depth gauge\n")
 		fmt.Fprintf(cw, "gschedd_queue_depth %d\n", m.queueDepth())
@@ -183,6 +235,8 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		fmt.Fprintf(cw, "gschedd_exact_queue_depth %d\n", es.Queued)
 		fmt.Fprintf(cw, "# HELP gschedd_exact_running Exact jobs currently scheduling.\n# TYPE gschedd_exact_running gauge\n")
 		fmt.Fprintf(cw, "gschedd_exact_running %d\n", es.Running)
+		fmt.Fprintf(cw, "# HELP gschedd_exact_jobs_warm_total Exact jobs answered from the store stack without running a search.\n# TYPE gschedd_exact_jobs_warm_total counter\n")
+		fmt.Fprintf(cw, "gschedd_exact_jobs_warm_total %d\n", es.Warm)
 	}
 
 	if m.trace != nil {

@@ -43,9 +43,35 @@ type Config struct {
 	// cancellation threaded into the pipeline; expiry answers 504
 	// (default 30s). Requests may lower it via timeout_ms.
 	Timeout time.Duration
-	// CacheBytes caps the content-addressed response cache (default
-	// 64 MiB; negative disables caching entirely).
+	// CacheBytes caps the in-memory tier of the content-addressed
+	// response store (default 64 MiB; negative disables the whole
+	// store stack, including disk and peers).
 	CacheBytes int64
+	// CacheDir, when set, adds the persistent on-disk tier rooted
+	// there: restarts warm-start from it and the working set can
+	// exceed RAM.
+	CacheDir string
+	// DiskCacheBytes caps the disk tier's file bytes (default 256 MiB;
+	// <=0 with CacheDir set keeps the default, there is no unbounded
+	// disk mode through Config).
+	DiskCacheBytes int64
+	// Self is this node's advertised base URL (e.g.
+	// "http://10.0.0.1:8421"), required when Peers is set: it is the
+	// node's identity on the consistent-hash ring.
+	Self string
+	// Peers lists the other cluster nodes' base URLs. Setting it adds
+	// the peer tier: owner-first fetch before recompute, cluster-wide
+	// single-flight, hot-key replication. Every node must be
+	// configured with the same total node set (self + peers).
+	Peers []string
+	// PeerTimeout bounds one owner conversation — fetch, claim wait or
+	// backfill (default 500ms). A slower owner means falling through
+	// to local compute.
+	PeerTimeout time.Duration
+	// ReplicateAfter is the hot-key threshold: a key fetched from its
+	// owner this many times is copied into the local tiers (default 2;
+	// negative replicates on first contact).
+	ReplicateAfter int
 	// ExactWorkers bounds concurrent exact-tier (level=optimal) jobs;
 	// they run on their own pool so branch-and-bound search time never
 	// starves the synchronous workers (default 1).
@@ -83,6 +109,15 @@ func (c *Config) defaults() {
 	if c.CacheBytes == 0 {
 		c.CacheBytes = 64 << 20
 	}
+	if c.DiskCacheBytes <= 0 {
+		c.DiskCacheBytes = 256 << 20
+	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 500 * time.Millisecond
+	}
+	if c.ReplicateAfter == 0 {
+		c.ReplicateAfter = 2
+	}
 	if c.ExactWorkers <= 0 {
 		c.ExactWorkers = 1
 	}
@@ -102,7 +137,7 @@ func (c *Config) defaults() {
 // under http.Server.Shutdown (in-flight schedules finish).
 type Server struct {
 	cfg     Config
-	cache   *Cache // nil when caching is disabled
+	store   *Tiered // nil when caching is disabled
 	flights *flightGroup
 	trace   *core.Trace
 	metrics *Metrics
@@ -121,8 +156,10 @@ type Server struct {
 	testHook func()
 }
 
-// New builds a Server from cfg.
-func New(cfg Config) *Server {
+// New builds a Server from cfg. It can fail only for the persistent
+// and cluster tiers: an unusable cache directory or an inconsistent
+// peer configuration.
+func New(cfg Config) (*Server, error) {
 	cfg.defaults()
 	s := &Server{
 		cfg:     cfg,
@@ -131,19 +168,59 @@ func New(cfg Config) *Server {
 		sem:     make(chan struct{}, cfg.Workers),
 	}
 	if cfg.CacheBytes > 0 {
-		s.cache = NewCache(cfg.CacheBytes)
+		mem := NewCache(cfg.CacheBytes)
+		var disk *DiskStore
+		var peer *PeerStore
+		var err error
+		if cfg.CacheDir != "" {
+			if disk, err = NewDiskStore(cfg.CacheDir, cfg.DiskCacheBytes); err != nil {
+				return nil, err
+			}
+		}
+		if len(cfg.Peers) > 0 {
+			// A claim blocks followers for at most the compute budget;
+			// past it the claimer is presumed dead and the key is up
+			// for grabs again.
+			if peer, err = NewPeerStore(cfg.Self, cfg.Peers, cfg.PeerTimeout, cfg.Timeout); err != nil {
+				return nil, err
+			}
+		}
+		s.store = NewTiered(mem, disk, peer, cfg.ReplicateAfter)
 	}
-	s.metrics = NewMetrics(s.cache, s.trace,
+	var mem *Cache
+	if s.store != nil {
+		mem = s.store.Memory()
+	}
+	s.metrics = NewMetrics(mem, s.trace,
 		func() int64 { return max(0, s.queued.Load()-s.inflight.Load()) },
 		func() int64 { return s.inflight.Load() },
 		func() int64 { return s.runs.Load() },
 		func() int64 { return s.sfWaits.Load() })
+	if s.store != nil {
+		s.metrics.stores = s.store.Stats
+		s.metrics.replications = s.store.Replications
+		s.metrics.computes = s.store.Computes
+	}
 	s.jobs = newJobManager(cfg.ExactWorkers, cfg.ExactQueueDepth, cfg.ExactTimeout, s.runExactJob)
+	if s.store != nil {
+		// Exact results flow through the same stack: proven-optimal
+		// schedules persist across restarts (disk) and nodes (owner
+		// backfill), and a warm key never re-runs the search.
+		s.jobs.lookup = func(key Key) ([]byte, bool) {
+			ctx, cancel := context.WithTimeout(context.Background(), cfg.PeerTimeout)
+			defer cancel()
+			return s.store.PeekThrough(ctx, key)
+		}
+		s.jobs.persist = func(key Key, body []byte) {
+			s.store.Put(context.Background(), key, body)
+		}
+	}
 	s.metrics.exact = s.jobs.snapshot
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/schedule", s.handleSchedule)
 	s.mux.HandleFunc("/schedule/batch", s.handleScheduleBatch)
 	s.mux.HandleFunc("/jobs/", s.handleJob)
+	s.mux.HandleFunc("/internal/cache/", s.handleInternalCache)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -151,17 +228,24 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return s
+	return s, nil
 }
 
 // Handler returns the root handler: /schedule, /jobs, /metrics,
 // /healthz and /debug/pprof.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops the exact-tier job workers after their current job and
-// rejects further submissions. Call after draining the HTTP server;
-// queued jobs are abandoned (their results die with the process).
-func (s *Server) Close() { s.jobs.close() }
+// Close stops the exact-tier job workers after their current job,
+// rejects further submissions and releases the store stack (waiting
+// out in-flight peer backfills). Call after draining the HTTP server;
+// queued exact jobs are abandoned, but every finished result already
+// sits in the persistent tiers.
+func (s *Server) Close() {
+	s.jobs.close()
+	if s.store != nil {
+		s.store.Close()
+	}
+}
 
 // Metrics exposes the registry (for embedding servers).
 func (s *Server) Metrics() *Metrics { return s.metrics }
@@ -169,13 +253,22 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // Trace exposes the shared phase-timing trace.
 func (s *Server) Trace() *core.Trace { return s.trace }
 
-// CacheStats snapshots the response cache counters (zero when caching
+// CacheStats snapshots the memory tier's counters (zero when caching
 // is disabled).
 func (s *Server) CacheStats() CacheStats {
-	if s.cache == nil {
+	if s.store == nil {
 		return CacheStats{}
 	}
-	return s.cache.Stats()
+	return s.store.Memory().Stats()
+}
+
+// StoreStats snapshots every store tier (nil when caching is
+// disabled).
+func (s *Server) StoreStats() []StoreStats {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.Stats()
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -326,21 +419,23 @@ func (s *Server) runExactJob(ctx context.Context, spec *job) ([]byte, error) {
 // opposed to one during scheduling.
 var errQueueWait = errors.New("timed out waiting for a worker")
 
-// execute runs one resolved job through the serving pipeline: cache
+// execute runs one resolved job through the serving pipeline: store
 // lookup → admission → single-flight collapse → worker slot → schedule
-// → store. It returns the HTTP status, the X-Cache state ("hit",
-// "miss" or ""), the response body, and a log-facing error message.
-// Both POST /schedule and each unit of POST /schedule/batch go through
+// → store. It returns the HTTP status, the X-Cache state ("hit" for
+// the memory tier, "disk", "peer", "miss" for a computed body, "" for
+// no lookup), the response body, and a log-facing error message. Both
+// POST /schedule and each unit of POST /schedule/batch go through
 // here, which is what makes batch responses byte-identical to their
 // single-request equivalents.
 func (s *Server) execute(parent context.Context, j *job) (code int, cacheState string, body []byte, errMsg string) {
 	j.opts.Trace = s.trace
 
-	// Content-addressed lookup. Hits bypass the pool entirely: they
-	// cost one hash and one map probe, no admission needed.
-	if s.cache != nil {
-		if cached, ok := s.cache.Get(j.key); ok {
-			return http.StatusOK, "hit", cached, ""
+	// Content-addressed lookup down the tier stack. Memory hits bypass
+	// the pool entirely: one hash and one map probe, no admission
+	// needed. Disk and peer hits pay IO but never a pipeline run.
+	if s.store != nil {
+		if cached, tier, ok := s.store.Get(parent, j.key); ok {
+			return http.StatusOK, tier, cached, ""
 		}
 	}
 
@@ -415,8 +510,8 @@ func (s *Server) acquireAndRun(ctx context.Context, j *job) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %w", errQueueWait, ctx.Err())
 	}
 	defer func() { <-s.sem }()
-	if s.cache != nil {
-		if cached, ok := s.cache.Peek(j.key); ok {
+	if s.store != nil {
+		if cached, ok := s.store.Peek(j.key); ok {
 			return cached, nil
 		}
 	}
@@ -424,8 +519,8 @@ func (s *Server) acquireAndRun(ctx context.Context, j *job) ([]byte, error) {
 	s.runs.Add(1)
 	body, err := s.runJob(ctx, j)
 	s.inflight.Add(-1)
-	if err == nil && s.cache != nil {
-		s.cache.Put(j.key, body)
+	if err == nil && s.store != nil {
+		s.store.Put(ctx, j.key, body)
 	}
 	return body, err
 }
@@ -501,6 +596,117 @@ func (s *Server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.finish(w, r, start, http.StatusOK, "", resp, "")
+}
+
+// handleInternalCache is the node-to-node half of the peer tier:
+//
+//	GET /internal/cache/{key}[?claim=1]  read a body / claim a compute
+//	PUT /internal/cache/{key}            backfill a computed body
+//
+// It is a trusted protocol for cluster-internal traffic (deploy it on
+// a network peers can reach and clients cannot). GET serves only the
+// local tiers — never the peer tier, so fetches cannot recurse — and
+// with ?claim=1 implements the cluster-wide single-flight: a miss
+// with an in-progress computation or a live claim parks the caller
+// until the bytes land; a miss with neither grants the caller the
+// claim (404 + X-Gschedd-Claim: granted) and lets it compute.
+func (s *Server) handleInternalCache(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	code := http.StatusNotFound
+	defer func() { s.metrics.ObserveRequest("/internal/cache", code, time.Since(start)) }()
+
+	if s.store == nil {
+		http.Error(w, "store disabled", code)
+		return
+	}
+	key, err := parseJobID(strings.TrimPrefix(r.URL.Path, "/internal/cache/"))
+	if err != nil {
+		code = http.StatusBadRequest
+		http.Error(w, err.Error(), code)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		code = s.internalCacheGet(w, r, key)
+	case http.MethodPut:
+		code = s.internalCachePut(w, r, key)
+	default:
+		code = http.StatusMethodNotAllowed
+		http.Error(w, "GET or PUT only", code)
+	}
+}
+
+// internalCacheGet serves one protocol read. The loop re-checks the
+// local tiers after every wait (a finished flight or resolved claim
+// means the bytes are normally there now); it is bounded so a
+// pathological claim churn degrades to "peer computes too" rather
+// than a hung handler.
+func (s *Server) internalCacheGet(w http.ResponseWriter, r *http.Request, key Key) int {
+	ctx := r.Context()
+	peer := s.store.peer
+	claiming := peer != nil && r.URL.Query().Get("claim") == "1"
+	holder := r.Header.Get("X-Gschedd-Node")
+
+	for tries := 0; tries < 8; tries++ {
+		if body, ok := s.store.PeekLocal(ctx, key); ok {
+			if peer != nil {
+				peer.ServedToPeer()
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(body)
+			return http.StatusOK
+		}
+		// This node is already computing the key for a client of its
+		// own: park the peer on that flight instead of duplicating.
+		if fl := s.flights.current(key); fl != nil {
+			select {
+			case <-fl.done:
+				continue // success stored the body; re-check
+			case <-ctx.Done():
+				http.Error(w, "not here", http.StatusNotFound)
+				return http.StatusNotFound
+			}
+		}
+		if !claiming {
+			break
+		}
+		granted, standing := peer.tryClaim(key, holder, time.Now())
+		if granted {
+			w.Header().Set("X-Gschedd-Claim", "granted")
+			http.Error(w, "not here, you compute", http.StatusNotFound)
+			return http.StatusNotFound
+		}
+		wait := time.NewTimer(time.Until(standing.deadline))
+		select {
+		case <-standing.done:
+			wait.Stop() // backfill landed; re-check the local tiers
+		case <-wait.C:
+			// Claimer presumed dead; the next iteration re-claims.
+		case <-ctx.Done():
+			wait.Stop()
+			http.Error(w, "not here", http.StatusNotFound)
+			return http.StatusNotFound
+		}
+	}
+	http.Error(w, "not here", http.StatusNotFound)
+	return http.StatusNotFound
+}
+
+// internalCachePut accepts a peer's computed body: store locally,
+// wake claim waiters. Bodies are deterministic functions of the key,
+// so a racing duplicate stores identical bytes.
+func (s *Server) internalCachePut(w http.ResponseWriter, r *http.Request, key Key) int {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxPeerBody+1))
+	if err != nil || int64(len(body)) > maxPeerBody {
+		http.Error(w, "unreadable or oversized body", http.StatusBadRequest)
+		return http.StatusBadRequest
+	}
+	s.store.PutLocal(r.Context(), key, body)
+	if s.store.peer != nil {
+		s.store.peer.finishClaim(key)
+	}
+	w.WriteHeader(http.StatusNoContent)
+	return http.StatusNoContent
 }
 
 // panicError marks a recovered worker panic.

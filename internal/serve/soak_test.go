@@ -130,8 +130,12 @@ func TestMixedLoadCountersConsistent(t *testing.T) {
 // after the first round, as in steady-state serving). Companion to
 // BenchmarkSchedulerThroughput in the root bench suite.
 func BenchmarkServeThroughput(b *testing.B) {
-	s := New(Config{Workers: 4, QueueDepth: 1 << 20,
+	s, err := New(Config{Workers: 4, QueueDepth: 1 << 20,
 		Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -177,8 +181,12 @@ func BenchmarkServeThroughput(b *testing.B) {
 // BenchmarkServeMiss measures the uncached path: every request is a
 // fresh program, so each pays compile + schedule + print.
 func BenchmarkServeMiss(b *testing.B) {
-	s := New(Config{Workers: 4, QueueDepth: 1 << 20, CacheBytes: -1,
+	s, err := New(Config{Workers: 4, QueueDepth: 1 << 20, CacheBytes: -1,
 		Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
