@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"gsched/internal/core"
+	"gsched/internal/eval"
 	"gsched/internal/machine"
 	"gsched/internal/progen"
 	"gsched/internal/serve"
@@ -64,6 +65,12 @@ type Report struct {
 	GoMaxProcs  int      `json:"go_max_procs"`
 	Parallel    int      `json:"client_parallelism"`
 	Benchmarks  []Result `json:"benchmarks"`
+
+	// SpeedupVsDepth is the speculation-depth curve (degree ×
+	// probability gate, RTI over BASE in simulated cycles) on the four
+	// workload proxies. Cycle counts are deterministic, so diffs here
+	// are real scheduling changes, not timing noise.
+	SpeedupVsDepth []eval.DepthPoint `json:"speedup_vs_depth,omitempty"`
 }
 
 func main() {
@@ -71,6 +78,7 @@ func main() {
 	benchtime := flag.String("benchtime", "1s", "per-benchmark measuring time")
 	parallel := flag.Int("parallel", 4, "client goroutines per GOMAXPROCS in the serving benchmarks")
 	clusterBench := flag.Bool("cluster", true, "include the 3-node cluster capacity benchmarks")
+	curve := flag.Bool("curve", true, "include the speedup-vs-speculation-depth curve")
 	testing.Init()
 	flag.Parse()
 	if err := flag.Lookup("test.benchtime").Value.Set(*benchtime); err != nil {
@@ -135,6 +143,16 @@ func main() {
 		report.Benchmarks = append(report.Benchmarks, r)
 		fmt.Fprintf(os.Stderr, "  %d iters, %d ns/op, %d allocs/op\n",
 			res.N, res.NsPerOp(), res.AllocsPerOp())
+	}
+
+	if *curve {
+		fmt.Fprintln(os.Stderr, "running speedup_vs_depth...")
+		_, points, err := eval.SpeedupVsDepth(workload.All())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		report.SpeedupVsDepth = points
 	}
 
 	enc, err := json.MarshalIndent(&report, "", "  ")

@@ -12,6 +12,8 @@
 //	experiments -fig 8r         # Figure 8 under taken-only branch delays
 //	experiments -fig wider      # wider-machine projection (§6 remark)
 //	experiments -fig ablation   # design-choice ablations
+//	experiments -fig depth      # speedup vs speculation depth × probability gate
+//	experiments -fig dup        # Definition-6 duplication vs the published levels
 package main
 
 import (
@@ -137,6 +139,22 @@ func run(which string) error {
 	if all || which == "degree" {
 		header("n-branch speculation degrees (Definition 7 / future work)")
 		t, err := eval.SpecDegrees(ws)
+		if err != nil {
+			return err
+		}
+		fmt.Print(t)
+	}
+	if all || which == "depth" {
+		header("Speedup vs speculation depth (degree × probability gate)")
+		t, _, err := eval.SpeedupVsDepth(ws)
+		if err != nil {
+			return err
+		}
+		fmt.Print(t)
+	}
+	if all || which == "dup" {
+		header("Definition-6 duplication (level=dup vs the published levels)")
+		t, err := eval.DupMotion(ws)
 		if err != nil {
 			return err
 		}

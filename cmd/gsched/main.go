@@ -26,7 +26,7 @@ import (
 )
 
 var (
-	level    = flag.String("level", "speculative", "scheduling level: none, useful, speculative, optimal")
+	level    = flag.String("level", "speculative", "scheduling level: none, useful, speculative, dup, optimal")
 	machineF = flag.String("machine", "rs6k", "machine model: rs6k, or NxM for N fixed and M branch units")
 	pipeline = flag.Bool("pipeline", true, "run the full §6 pipeline (unroll/rotate) instead of plain scheduling")
 	printAsm = flag.Bool("print", false, "print the scheduled program as assembly")
@@ -38,6 +38,8 @@ var (
 	trace    = flag.Int64("trace", 0, "with -run: print the issue trace of the first N instructions")
 	verifyF  = flag.Bool("verify", false, "check every schedule with the independent legality verifier; fail on violations")
 	jobs     = flag.Int("jobs", runtime.NumCPU(), "schedule this many functions concurrently (1 = sequential); schedules are identical at any setting")
+	profIn   = flag.String("profile", "", "edge profile file (gsched-profile v1) guiding speculation and, at -level dup, superblock formation")
+	profOut  = flag.String("profile-out", "", "with -run: write the run's edge profile to this file")
 )
 
 func main() {
@@ -54,6 +56,9 @@ func main() {
 }
 
 func realMain(path string) error {
+	if *profOut != "" && *run == "" {
+		return fmt.Errorf("-profile-out requires -run")
+	}
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -90,6 +95,17 @@ func realMain(path string) error {
 	opts := gsched.Defaults(mach, lv)
 	opts.Verify = *verifyF
 	opts.Parallelism = *jobs
+	if *profIn != "" {
+		data, err := os.ReadFile(*profIn)
+		if err != nil {
+			return err
+		}
+		prof, err := gsched.ParseProfile(string(data))
+		if err != nil {
+			return fmt.Errorf("%s: %w", *profIn, err)
+		}
+		opts.Profile = prof
+	}
 	var st gsched.PipelineStats
 	if *pipeline {
 		st, err = gsched.SchedulePipeline(prog, opts, gsched.DefaultPipeline())
@@ -100,9 +116,9 @@ func realMain(path string) error {
 		return err
 	}
 	if *stats {
-		fmt.Printf("regions scheduled %d, skipped %d; moves: %d useful, %d speculative; webs renamed %d; loops unrolled %d, rotated %d\n",
-			st.RegionsScheduled, st.RegionsSkipped, st.UsefulMoves, st.SpeculativeMoves,
-			st.RenamedWebs, st.LoopsUnrolled, st.LoopsRotated)
+		fmt.Printf("regions scheduled %d, skipped %d; moves: %d useful, %d speculative, %d duplicated; webs renamed %d; loops unrolled %d, rotated %d; blocks tail-duplicated %d\n",
+			st.RegionsScheduled, st.RegionsSkipped, st.UsefulMoves, st.SpeculativeMoves, st.DuplicatedMoves,
+			st.RenamedWebs, st.LoopsUnrolled, st.LoopsRotated, st.TailDuplicated)
 		if st.ExactBlocks > 0 {
 			fmt.Printf("exact: %d blocks searched, %d improved, %d cycles saved\n",
 				st.ExactBlocks, st.ExactImproved, st.ExactCyclesSaved)
@@ -136,6 +152,11 @@ func realMain(path string) error {
 			ropts.Trace = os.Stdout
 			ropts.TraceLimit = *trace
 		}
+		var outProf *gsched.Profile
+		if *profOut != "" {
+			outProf = gsched.NewProfile()
+			ropts.Profile = outProf
+		}
 		res, err := gsched.Run(prog, *run, args, nil, ropts)
 		if err != nil {
 			return err
@@ -144,6 +165,11 @@ func realMain(path string) error {
 		fmt.Printf("cycles %d, instructions %d\n", res.Cycles, res.Instrs)
 		if len(res.Printed) > 0 {
 			fmt.Printf("printed: %s\n", res.PrintedString())
+		}
+		if outProf != nil {
+			if err := os.WriteFile(*profOut, []byte(outProf.Canonical()), 0o644); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -157,6 +183,8 @@ func parseLevel(s string) (gsched.Level, error) {
 		return gsched.LevelUseful, nil
 	case "speculative":
 		return gsched.LevelSpeculative, nil
+	case "dup":
+		return gsched.LevelDup, nil
 	case "optimal":
 		return gsched.LevelOptimal, nil
 	}

@@ -11,21 +11,25 @@ import (
 // seed: the program progen derives from the seed is scheduled at every
 // level through the full pipeline with the static legality verifier
 // enabled (Options.Verify), and the scheduled program must behave
-// exactly like the unscheduled one on the simulator. Run with
+// exactly like the unscheduled one on the simulator. The baseline run
+// doubles as profile training; level=dup consumes the profile, so
+// Definition-6 dup-motion, probability-gated speculation and superblock
+// formation are all under fuzz. Run with
 //
 //	go test -fuzz=FuzzSchedule .
 func FuzzSchedule(f *testing.F) {
 	for seed := int64(0); seed < 8; seed++ {
 		f.Add(seed)
 	}
-	levels := []gsched.Level{gsched.LevelNone, gsched.LevelUseful, gsched.LevelSpeculative}
+	levels := []gsched.Level{gsched.LevelNone, gsched.LevelUseful, gsched.LevelSpeculative, gsched.LevelDup}
 	f.Fuzz(func(t *testing.T, seed int64) {
 		p := progen.New(seed)
 		base, err := gsched.CompileC(p.Source)
 		if err != nil {
 			t.Fatalf("seed %d: compile: %v", seed, err)
 		}
-		want, err := gsched.Run(base, p.Entry, p.Args, nil, gsched.RunOptions{MaxInstrs: 20_000_000})
+		prof := gsched.NewProfile()
+		want, err := gsched.Run(base, p.Entry, p.Args, nil, gsched.RunOptions{MaxInstrs: 20_000_000, Profile: prof})
 		if err != nil {
 			t.Fatalf("seed %d: baseline run: %v", seed, err)
 		}
@@ -36,7 +40,10 @@ func FuzzSchedule(f *testing.F) {
 			}
 			opts := gsched.Defaults(gsched.RS6K(), lv)
 			opts.Verify = true
-			opts.Duplicate = lv == gsched.LevelSpeculative
+			opts.Duplicate = lv >= gsched.LevelSpeculative
+			if lv == gsched.LevelDup {
+				opts.Profile = prof
+			}
 			if _, err := gsched.SchedulePipeline(prog, opts, gsched.DefaultPipeline()); err != nil {
 				t.Fatalf("seed %d level %v: %v\n%s", seed, lv, err, p.Source)
 			}

@@ -44,12 +44,15 @@ type Machine = machine.Desc
 type Level = core.Level
 
 // Scheduling levels: BASE (local only), useful-only global motion,
-// useful plus 1-branch speculative motion, and speculative plus the
-// exact branch-and-bound block post-pass.
+// useful plus 1-branch speculative motion, speculative plus
+// Definition-6 duplication (with profile-driven superblock formation
+// when a Profile is supplied), and speculative plus the exact
+// branch-and-bound block post-pass.
 const (
 	LevelNone        = core.LevelNone
 	LevelUseful      = core.LevelUseful
 	LevelSpeculative = core.LevelSpeculative
+	LevelDup         = core.LevelDup
 	LevelOptimal     = core.LevelOptimal
 )
 
@@ -116,6 +119,11 @@ type Profile = profile.Profile
 
 // NewProfile returns an empty edge profile.
 func NewProfile() *Profile { return profile.New() }
+
+// ParseProfile parses the canonical textual profile form ("gsched-profile
+// v1" header, one "<func> <instrID> <taken> <notTaken>" line per branch).
+// Profile.Canonical renders the inverse.
+func ParseProfile(src string) (*Profile, error) { return profile.Parse(src) }
 
 // Allocate maps the program's symbolic registers onto a finite register
 // file with a colouring allocator, spilling to frame slots when needed —

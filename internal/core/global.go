@@ -257,6 +257,14 @@ func (rs *regionScheduler) dupJoinsBelow(a int) []int {
 				ok = false // copies may not cross region boundaries
 				break
 			}
+			if rs.p.Dom.Dominates(b, p) {
+				// p -> b is a back edge (b dominates p), so b is a loop
+				// header — a copy in p would execute downstream of the
+				// join it must cover, once per iteration instead of
+				// once per entry. Not a Definition-6 shape.
+				ok = false
+				break
+			}
 		}
 		if ok {
 			out = append(out, b)

@@ -33,6 +33,14 @@ const (
 	// LevelSpeculative additionally allows 1-branch speculative motion
 	// (Definition 7 with n = 1).
 	LevelSpeculative
+	// LevelDup schedules like LevelSpeculative and additionally enables
+	// the restricted scheduling-with-duplication of Definition 6 (the
+	// Duplicate option) — the code-motion kind the paper explicitly left
+	// out ("no duplication of code is allowed"). With a Profile present,
+	// the §6 pipeline also forms superblocks first: hot join blocks are
+	// tail-duplicated so the frequent trace loses its side entrances and
+	// useful motion applies along it.
+	LevelDup
 	// LevelOptimal schedules like LevelSpeculative, then runs the exact
 	// branch-and-bound block scheduler (internal/exact) over every block
 	// the size gate admits, substituting the exact order where it
@@ -50,6 +58,8 @@ func (l Level) String() string {
 		return "useful"
 	case LevelSpeculative:
 		return "speculative"
+	case LevelDup:
+		return "dup"
 	case LevelOptimal:
 		return "optimal"
 	}
@@ -168,6 +178,7 @@ func Defaults(m *machine.Desc, level Level) Options {
 		SpeculateLoads:  true,
 		SpecDegree:      1,
 		MinSpecProb:     0.1,
+		Duplicate:       level == LevelDup,
 		MaxRegionBlocks: 64,
 		MaxRegionInstrs: 256,
 		MaxRegionLevels: 2,

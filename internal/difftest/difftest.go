@@ -11,6 +11,7 @@ import (
 	"gsched/internal/core"
 	"gsched/internal/ir"
 	"gsched/internal/minic"
+	"gsched/internal/profile"
 	"gsched/internal/progen"
 	"gsched/internal/rename"
 	"gsched/internal/sim"
@@ -133,14 +134,14 @@ func (e *Engine) Run() (*Report, error) {
 		if err != nil {
 			return rep, fmt.Errorf("difftest: seed %d does not compile: %w", seed, err)
 		}
-		want, err := e.baseline(prog, p.Entry, p.Args)
+		want, prof, err := e.baseline(prog, p.Entry, p.Args)
 		if err != nil {
 			return rep, fmt.Errorf("difftest: seed %d baseline run: %w", seed, err)
 		}
 		rep.Programs++
 		for _, cell := range cells {
 			rep.Cells++
-			cerr := e.checkCell(rep, prog, p.Entry, p.Args, want, cell)
+			cerr := e.checkCell(rep, prog, p.Entry, p.Args, want, prof, cell)
 			if cerr == nil {
 				continue
 			}
@@ -160,23 +161,31 @@ func (e *Engine) Run() (*Report, error) {
 }
 
 // baseline runs the unscheduled program functionally (no machine, no
-// forgiving loads): the reference every cell must reproduce.
-func (e *Engine) baseline(prog *ir.Program, entry string, args []int64) (*sim.Result, error) {
+// forgiving loads): the reference every cell must reproduce. The run
+// doubles as profile training — the returned edge profile is what the
+// Profile-bearing cells hand to the scheduler. Instruction IDs are
+// stable across cloneProgram (print + reparse renumbers densely and
+// deterministically), so the profile trained on this clone addresses
+// the clones checkCell schedules.
+func (e *Engine) baseline(prog *ir.Program, entry string, args []int64) (*sim.Result, *profile.Profile, error) {
 	work := cloneProgram(prog)
 	if work == nil {
-		return nil, fmt.Errorf("program does not round-trip through asm")
+		return nil, nil, fmt.Errorf("program does not round-trip through asm")
 	}
 	m, err := sim.Load(work)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return m.Run(entry, args, nil, sim.Options{MaxInstrs: e.SimMaxInstrs})
+	prof := profile.New()
+	res, err := m.Run(entry, args, nil, sim.Options{MaxInstrs: e.SimMaxInstrs, Profile: prof})
+	return res, prof, err
 }
 
 // checkCell schedules a fresh copy of prog under the cell and runs the
-// four oracles. prog itself is never modified. rep, when non-nil,
-// accumulates brute-force statistics.
-func (e *Engine) checkCell(rep *Report, prog *ir.Program, entry string, args []int64, want *sim.Result, cell Cell) *oracleError {
+// four oracles. prog itself is never modified. prof is the baseline
+// run's trained edge profile, attached only for Profile-bearing cells.
+// rep, when non-nil, accumulates brute-force statistics.
+func (e *Engine) checkCell(rep *Report, prog *ir.Program, entry string, args []int64, want *sim.Result, prof *profile.Profile, cell Cell) *oracleError {
 	work := cloneProgram(prog)
 	if work == nil {
 		return &oracleError{"clone", fmt.Errorf("program does not round-trip through asm")}
@@ -201,6 +210,9 @@ func (e *Engine) checkCell(rep *Report, prog *ir.Program, entry string, args []i
 	}
 
 	opts := cell.Options()
+	if cell.Profile {
+		opts.Profile = prof
+	}
 	if err := scheduleRecover(work, opts); err != nil {
 		return &oracleError{"schedule", err}
 	}

@@ -84,29 +84,51 @@ func TestDiffLattice(t *testing.T) {
 	})
 }
 
-// TestLatticeShape pins the lattice geometry: 8 cells per machine, with
-// duplication tied to the speculative level.
+// TestLatticeShape pins the lattice geometry: 12 cells per machine —
+// the 8 profile-free cells (levels × rename × workers, duplication tied
+// to the speculative level), 2 LevelDup+profile cells (1 and 4
+// workers), and 2 probability-gated speculative cells (p 0.5 and 0.9).
 func TestLatticeShape(t *testing.T) {
 	ms := Machines(7, 3)
 	if len(ms) != 7 {
 		t.Fatalf("Machines(7, 3) = %d machines, want 7", len(ms))
 	}
 	cells := Lattice(ms)
-	if len(cells) != 8*len(ms) {
-		t.Fatalf("lattice has %d cells, want %d", len(cells), 8*len(ms))
+	if len(cells) != 12*len(ms) {
+		t.Fatalf("lattice has %d cells, want %d", len(cells), 12*len(ms))
 	}
 	seen := make(map[string]bool)
+	dupCells, gated := 0, 0
 	for _, c := range cells {
 		if seen[c.String()] {
 			t.Errorf("duplicate cell %s", c)
 		}
 		seen[c.String()] = true
-		if c.Duplicate != (c.Level == core.LevelSpeculative) {
-			t.Errorf("cell %s: duplication should track the speculative level", c)
+		switch {
+		case c.Level == core.LevelDup:
+			dupCells++
+			if !c.Duplicate || !c.Profile {
+				t.Errorf("cell %s: LevelDup cells must duplicate with a profile", c)
+			}
+		case c.MinSpecProb > 0:
+			gated++
+			if !c.Profile || c.Level != core.LevelSpeculative {
+				t.Errorf("cell %s: probability gate needs a profile at the speculative level", c)
+			}
+			if got := c.Options().MinSpecProb; got != c.MinSpecProb {
+				t.Errorf("cell %s: Options().MinSpecProb = %g", c, got)
+			}
+		default:
+			if c.Duplicate != (c.Level == core.LevelSpeculative) {
+				t.Errorf("cell %s: duplication should track the speculative level", c)
+			}
 		}
 		o := c.Options()
 		if o.Rename || o.Verify {
 			t.Errorf("cell %s: engine must own renaming and verification", c)
 		}
+	}
+	if dupCells != 2*len(ms) || gated != 2*len(ms) {
+		t.Errorf("dup cells %d, gated cells %d; want %d each", dupCells, gated, 2*len(ms))
 	}
 }

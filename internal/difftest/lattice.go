@@ -34,8 +34,16 @@ type Cell struct {
 	// Rename toggles §4.2 register renaming before scheduling.
 	Rename bool
 	// Duplicate toggles Definition-6 duplication (only meaningful at
-	// LevelSpeculative).
+	// LevelSpeculative and above).
 	Duplicate bool
+	// Profile, when set, hands the scheduler the edge profile the engine
+	// trains on each program's baseline run, enabling probability-gated
+	// speculation (and probability-aware dup-motion at LevelDup).
+	Profile bool
+	// MinSpecProb overrides the level default for the probability below
+	// which speculative candidates are rejected; 0 keeps the default.
+	// Only meaningful with Profile set.
+	MinSpecProb float64
 	// Parallelism is the scheduler worker count (1 or N; schedules must
 	// be identical either way, so sweeping it differentially tests the
 	// determinism claim too).
@@ -46,6 +54,12 @@ func (c Cell) String() string {
 	s := fmt.Sprintf("%s/%s", c.Machine.Name, c.Level)
 	if c.Duplicate {
 		s += "+dup"
+	}
+	if c.Profile {
+		s += "+prof"
+	}
+	if c.MinSpecProb > 0 {
+		s += fmt.Sprintf("+p%g", c.MinSpecProb)
 	}
 	if c.Rename {
 		s += "/rename"
@@ -62,6 +76,9 @@ func (c Cell) Options() core.Options {
 	o.Verify = false
 	o.Duplicate = c.Duplicate
 	o.Parallelism = c.Parallelism
+	if c.MinSpecProb > 0 {
+		o.MinSpecProb = c.MinSpecProb
+	}
 	return o
 }
 
@@ -84,7 +101,10 @@ func Machines(seed int64, randoms int) []*machine.Desc {
 // Lattice enumerates the full configuration lattice over the given
 // machines: {useful, speculative} × {rename off, on} × {1 worker, 4
 // workers}, with Definition-6 duplication enabled at the speculative
-// level (matching the fuzz harness configuration).
+// level (matching the fuzz harness configuration), plus the
+// profile-bearing cells: dup-motion at LevelDup (1 and 4 workers, so
+// determinism is differentially tested with a profile in play) and
+// probability-gated speculation at p ∈ {0.5, 0.9}.
 func Lattice(machines []*machine.Desc) []Cell {
 	var cells []Cell
 	for _, m := range machines {
@@ -100,6 +120,24 @@ func Lattice(machines []*machine.Desc) []Cell {
 					})
 				}
 			}
+		}
+		for _, par := range []int{1, 4} {
+			cells = append(cells, Cell{
+				Machine:     m,
+				Level:       core.LevelDup,
+				Duplicate:   true,
+				Profile:     true,
+				Parallelism: par,
+			})
+		}
+		for _, p := range []float64{0.5, 0.9} {
+			cells = append(cells, Cell{
+				Machine:     m,
+				Level:       core.LevelSpeculative,
+				Profile:     true,
+				MinSpecProb: p,
+				Parallelism: 1,
+			})
 		}
 	}
 	return cells

@@ -10,8 +10,9 @@ import (
 
 // shrink reduces a failing (program, machine, options) triple to a
 // minimal reproducer by greedy delta debugging: first the cell is
-// simplified (fewer workers, no renaming, no duplication, useful-only,
-// simpler machine), then whole non-entry functions and then single
+// simplified (fewer workers, no renaming, no probability gate, no
+// profile, no duplication, useful-only, simpler machine), then whole
+// non-entry functions and then single
 // instructions are dropped to a fixpoint. A candidate is kept only if
 // it still validates, still runs functionally, and still trips an
 // oracle (not necessarily the original one — any failure is a bug).
@@ -37,11 +38,11 @@ func (e *Engine) shrink(prog *ir.Program, entry string, args []int64, cell Cell,
 			if err := w.Validate(); err != nil {
 				return
 			}
-			want, err := e.baseline(w, entry, args)
+			want, prof, err := e.baseline(w, entry, args)
 			if err != nil {
 				return
 			}
-			res = e.checkCell(nil, w, entry, args, want, c)
+			res = e.checkCell(nil, w, entry, args, want, prof, c)
 		}()
 		return res
 	}
@@ -63,15 +64,34 @@ func (e *Engine) shrink(prog *ir.Program, entry string, args []int64, cell Cell,
 		c.Rename = false
 		tryCell(c)
 	}
+	if cell.MinSpecProb > 0 {
+		c := cell
+		c.MinSpecProb = 0
+		tryCell(c)
+	}
+	if cell.Profile {
+		c := cell
+		c.Profile = false
+		c.MinSpecProb = 0
+		if c.Level == core.LevelDup {
+			c.Level = core.LevelSpeculative
+		}
+		tryCell(c)
+	}
 	if cell.Duplicate {
 		c := cell
 		c.Duplicate = false
+		if c.Level == core.LevelDup {
+			c.Level = core.LevelSpeculative
+		}
 		tryCell(c)
 	}
 	if cell.Level != core.LevelUseful {
 		c := cell
 		c.Level = core.LevelUseful
 		c.Duplicate = false
+		c.Profile = false
+		c.MinSpecProb = 0
 		tryCell(c)
 	}
 	for _, m := range []*machine.Desc{machine.Scalar(), machine.RS6K()} {

@@ -36,6 +36,89 @@ func TestNilSafety(t *testing.T) {
 	}
 }
 
+func TestCanonicalParseRoundTrip(t *testing.T) {
+	p := New()
+	p.Record("b", 2, true)
+	for k := 0; k < 5; k++ {
+		p.Record("a", 9, false)
+	}
+	p.Record("a", 1, true)
+	p.Record("a", 1, false)
+
+	text := p.Canonical()
+	if !strings.HasPrefix(text, Header+"\n") {
+		t.Fatalf("canonical form missing header:\n%s", text)
+	}
+	q, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse(Canonical()): %v", err)
+	}
+	if q.Canonical() != text {
+		t.Errorf("round trip not identical:\n%s\nvs\n%s", text, q.Canonical())
+	}
+	if c := q.Branch("a", 9); c.NotTaken != 5 || c.Taken != 0 {
+		t.Errorf("a/9 = %+v", c)
+	}
+}
+
+func TestCanonicalDeterministic(t *testing.T) {
+	build := func(order []int) string {
+		p := New()
+		for _, i := range order {
+			p.Record("f", i, i%2 == 0)
+		}
+		return p.Canonical()
+	}
+	if a, b := build([]int{3, 1, 2}), build([]int{2, 3, 1}); a != b {
+		t.Errorf("canonical form depends on insertion order:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",                                  // no header
+		"gsched-profile v2\n",               // wrong version
+		Header + "\nf 1 2\n",                // short line
+		Header + "\nf 1 2 3 4\n",            // long line
+		Header + "\nf x 2 3\n",              // bad id
+		Header + "\nf -1 2 3\n",             // negative id
+		Header + "\nf 1 -2 3\n",             // negative taken
+		Header + "\nf 1 2 -3\n",             // negative not-taken
+		Header + "\nf 1 99999999999999999999 0\n", // overflow int64
+		Header + "\nf 1 9223372036854775807 0\nf 1 1 0\n", // accumulate overflow
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse accepted %q", src)
+		}
+	}
+}
+
+func TestParseAcceptsCommentsAndAccumulates(t *testing.T) {
+	p, err := Parse(Header + "\n# comment\n\nf 1 2 3\nf 1 1 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := p.Branch("f", 1); c.Taken != 3 || c.NotTaken != 4 {
+		t.Errorf("accumulated counts = %+v", c)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := New(), New()
+	a.Record("f", 1, true)
+	b.Record("f", 1, false)
+	b.Record("g", 2, true)
+	a.Merge(b)
+	if c := a.Branch("f", 1); c.Taken != 1 || c.NotTaken != 1 {
+		t.Errorf("f/1 = %+v", c)
+	}
+	if c := a.Branch("g", 2); c.Taken != 1 {
+		t.Errorf("g/2 = %+v", c)
+	}
+	a.Merge(nil) // must not panic
+}
+
 func TestStringSorted(t *testing.T) {
 	p := New()
 	p.Record("b", 2, true)

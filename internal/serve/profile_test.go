@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"gsched/internal/minic"
+	"gsched/internal/profile"
+	"gsched/internal/sim"
+)
+
+// hotSrc has one heavily biased branch feeding a join: the profile a
+// training run collects is enough to trigger superblock formation at
+// level=dup.
+const hotSrc = `
+int acc = 0;
+int main(int n) {
+	for (int i = 0; i < n; i++) {
+		if (i == 1) {
+			acc += 1000;
+		}
+		acc += i;
+		acc = acc ^ 3;
+	}
+	return acc;
+}
+`
+
+// trainProfileText compiles src, runs entry functionally, and returns
+// the collected edge profile in the canonical text form a client would
+// upload.
+func trainProfileText(t *testing.T, src, entry string, args []int64) string {
+	t.Helper()
+	prog, err := minic.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := profile.New()
+	m, err := sim.Load(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(entry, args, nil, sim.Options{Profile: prof}); err != nil {
+		t.Fatal(err)
+	}
+	return prof.Canonical()
+}
+
+// A profile is part of the schedule's identity: requests differing only
+// in profile must have different content addresses, while textually
+// different spellings of the same profile must share one.
+func TestCacheKeyProfileSensitivity(t *testing.T) {
+	src := "func f r1:\n\tRET r1\n"
+	k0 := mustResolve(t, &Request{Lang: "asm", Source: src}).key
+
+	withProf := mustResolve(t, &Request{Lang: "asm", Source: src,
+		Profile: "gsched-profile v1\nf 1 90 10\n"}).key
+	if withProf == k0 {
+		t.Error("profile-bearing request shares the profile-free cache key")
+	}
+
+	// Reordered lines, comments, and split counts all canonicalize away.
+	same := mustResolve(t, &Request{Lang: "asm", Source: src,
+		Profile: "gsched-profile v1\n# trained 2026-08-08\nf 1 90 0\n\nf 1 0 10\n"}).key
+	if same != withProf {
+		t.Error("equivalent profile spellings produced different cache keys")
+	}
+
+	// Different counts are a different profile.
+	other := mustResolve(t, &Request{Lang: "asm", Source: src,
+		Profile: "gsched-profile v1\nf 1 10 90\n"}).key
+	if other == withProf {
+		t.Error("different profiles produced the same cache key")
+	}
+
+	// A profile with no samples cannot change any schedule: same key as
+	// no profile at all.
+	empty := mustResolve(t, &Request{Lang: "asm", Source: src,
+		Profile: "gsched-profile v1\n"}).key
+	if empty != k0 {
+		t.Error("empty profile changed the cache key")
+	}
+
+	// Malformed profiles are client errors.
+	if _, err := resolve(&Request{Lang: "asm", Source: src, Profile: "bogus\n"}, false); err == nil {
+		t.Error("malformed profile accepted")
+	} else if _, ok := err.(*badRequest); !ok {
+		t.Errorf("malformed profile: got %T, want *badRequest", err)
+	}
+}
+
+// End to end: a profile-bearing level=dup request schedules with
+// superblock formation, caches under its own key (a profile-free
+// request misses), and replays byte-identically from the cache.
+func TestProfileRequestServedAndCached(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	profText := trainProfileText(t, hotSrc, "main", []int64{100})
+
+	req := &Request{Source: hotSrc, Level: "dup", Profile: profText, Verify: true}
+	r1, b1 := post(t, ts, req)
+	if r1.StatusCode != http.StatusOK || r1.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("first: status %d cache %q: %s", r1.StatusCode, r1.Header.Get("X-Cache"), b1)
+	}
+	var resp Response
+	if err := json.Unmarshal(b1, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stats.TailDuplicated < 1 {
+		t.Errorf("TailDuplicated = %d, want >= 1 (profile ignored?)", resp.Stats.TailDuplicated)
+	}
+
+	r2, b2 := post(t, ts, req)
+	if r2.StatusCode != http.StatusOK || r2.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("replay: status %d cache %q", r2.StatusCode, r2.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("cache hit bytes differ from the computed miss")
+	}
+
+	// Same source and level without the profile: its own entry.
+	r3, b3 := post(t, ts, &Request{Source: hotSrc, Level: "dup", Verify: true})
+	if r3.StatusCode != http.StatusOK || r3.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("profile-free: status %d cache %q", r3.StatusCode, r3.Header.Get("X-Cache"))
+	}
+	if bytes.Equal(b1, b3) {
+		t.Error("profile changed nothing: dup schedule identical with and without it")
+	}
+}
+
+// Profile-bearing traffic through the full store stack: memory hits on
+// repeats, disk hits after a restart over the same cache directory, and
+// the tier identity memory + disk + peer + computes == lookups holds on
+// the scraped counters of both servers.
+func TestProfileCountersReconcileAcrossTiers(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Workers: 2, CacheDir: dir}
+	profText := trainProfileText(t, hotSrc, "main", []int64{100})
+
+	reqs := []*Request{
+		{Source: hotSrc, Level: "dup", Profile: profText},
+		{Source: hotSrc, Level: "dup"},
+		{Source: hotSrc, Level: "speculative", Profile: profText},
+	}
+
+	// checkTiers scrapes url and validates the tier identity plus the
+	// per-tier agreement with the X-Cache headers the client saw.
+	checkTiers := func(url string, lookups int, headers map[string]int) {
+		t.Helper()
+		m, err := Scrape(url + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem := m[`gschedd_store_hits_total{tier="memory"}`]
+		disk := m[`gschedd_store_hits_total{tier="disk"}`]
+		peer := m[`gschedd_store_hits_total{tier="peer"}`]
+		computes := m["gschedd_store_computes_total"]
+		if int(mem+disk+peer+computes) != lookups {
+			t.Errorf("memory %g + disk %g + peer %g + computes %g != %d lookups",
+				mem, disk, peer, computes, lookups)
+		}
+		for tier, series := range map[string]float64{"hit": mem, "disk": disk, "peer": peer} {
+			if int(series) != headers[tier] {
+				t.Errorf("tier %s: counter %g, %d X-Cache headers", tier, series, headers[tier])
+			}
+		}
+	}
+
+	s1, ts1 := newTestServer(t, cfg)
+	headers := map[string]int{}
+	lookups := 0
+	want := map[int][]byte{}
+	for round := 0; round < 2; round++ {
+		for i, req := range reqs {
+			r, b := post(t, ts1, req)
+			if r.StatusCode != http.StatusOK {
+				t.Fatalf("round %d req %d: status %d: %s", round, i, r.StatusCode, b)
+			}
+			if c := r.Header.Get("X-Cache"); c != "" {
+				headers[c]++
+			}
+			lookups++
+			if round == 0 {
+				want[i] = b
+			} else if !bytes.Equal(want[i], b) {
+				t.Errorf("req %d: bytes changed between miss and hit", i)
+			}
+		}
+	}
+	if headers["hit"] != len(reqs) {
+		t.Fatalf("second round: %d memory hits, want %d", headers["hit"], len(reqs))
+	}
+	checkTiers(ts1.URL, lookups, headers)
+	if runs := s1.runs.Load(); int(runs) != len(reqs) {
+		t.Errorf("server ran %d pipelines, want %d", runs, len(reqs))
+	}
+	ts1.Close()
+	s1.Close()
+
+	// A successor over the same directory serves everything from disk —
+	// including the profile-bearing entries — without one pipeline run.
+	s2, ts2 := newTestServer(t, cfg)
+	headers2 := map[string]int{}
+	for i, req := range reqs {
+		r, b := post(t, ts2, req)
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("restart req %d: status %d", i, r.StatusCode)
+		}
+		if c := r.Header.Get("X-Cache"); c != "disk" {
+			t.Errorf("restart req %d: X-Cache %q, want disk", i, c)
+		} else {
+			headers2[c]++
+		}
+		if !bytes.Equal(want[i], b) {
+			t.Errorf("restart req %d: bytes differ across restart", i)
+		}
+	}
+	checkTiers(ts2.URL, len(reqs), headers2)
+	if runs := s2.runs.Load(); runs != 0 {
+		t.Errorf("restarted server ran %d pipelines, want 0", runs)
+	}
+}
+
+// level=dup round-trips through the JSON API by name.
+func TestLevelDupResolves(t *testing.T) {
+	j := mustResolve(t, &Request{Lang: "asm", Source: "func f r1:\n\tRET r1\n", Level: "dup"})
+	if !j.opts.Duplicate {
+		t.Error("level=dup did not enable Duplicate")
+	}
+	if got := fmt.Sprintf("%s", j.opts.Level); got != "dup" {
+		t.Errorf("level = %q, want dup", got)
+	}
+}

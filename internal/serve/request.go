@@ -15,6 +15,7 @@ import (
 	"gsched/internal/ir"
 	"gsched/internal/machine"
 	"gsched/internal/minic"
+	"gsched/internal/profile"
 	"gsched/internal/xform"
 )
 
@@ -28,11 +29,18 @@ type Request struct {
 	// or "NxM" for N fixed and M branch units) or a full machine.Desc
 	// object. Empty means rs6k.
 	Machine json.RawMessage `json:"machine,omitempty"`
-	// Level is "none", "useful", "speculative" (the default) or
-	// "optimal". level=optimal answers 202 with the speculative
-	// schedule immediately plus async job metadata; poll GET /jobs/{id}
-	// for the exact result.
+	// Level is "none", "useful", "speculative" (the default), "dup"
+	// (speculative plus Definition-6 duplication and, with a Profile,
+	// superblock formation) or "optimal". level=optimal answers 202 with
+	// the speculative schedule immediately plus async job metadata; poll
+	// GET /jobs/{id} for the exact result.
 	Level string `json:"level,omitempty"`
+	// Profile is an edge profile in the canonical text form
+	// ("gsched-profile v1" header, "<func> <instrID> <taken> <notTaken>"
+	// lines). It gates speculation by measured branch probability and
+	// drives superblock formation at level=dup, so its canonical form is
+	// part of the content-addressed cache key.
+	Profile string `json:"profile,omitempty"`
 	// Pipeline selects the full §6 unroll/rotate pipeline (default
 	// true); false runs plain renaming + global scheduling + post-pass.
 	Pipeline *bool `json:"pipeline,omitempty"`
@@ -224,15 +232,29 @@ func resolve(req *Request, allowPanic bool) (*job, error) {
 		lv = core.LevelUseful
 	case "speculative":
 		lv = core.LevelSpeculative
+	case "dup":
+		lv = core.LevelDup
 	case "optimal":
 		lv = core.LevelOptimal
 	default:
-		return nil, badf("unknown level %q (want none, useful, speculative or optimal)", level)
+		return nil, badf("unknown level %q (want none, useful, speculative, dup or optimal)", level)
 	}
 
 	j.opts = core.Defaults(j.mach, lv)
 	j.opts.Verify = req.Verify
 	j.opts.Parallelism = 1 // concurrency comes from the worker pool
+	if req.Profile != "" {
+		prof, err := profile.Parse(req.Profile)
+		if err != nil {
+			return nil, badf("profile: %v", err)
+		}
+		if prof.Len() > 0 {
+			// A profile with no samples is indistinguishable from no
+			// profile; normalizing to nil keeps the cache key aligned
+			// with what the scheduler actually sees.
+			j.opts.Profile = prof
+		}
+	}
 	if p := req.Options; p != nil {
 		setIf(&j.opts.Rename, p.Rename)
 		setIf(&j.opts.LocalPass, p.LocalPass)
@@ -312,13 +334,15 @@ func machineByName(name string) (*machine.Desc, error) {
 }
 
 // contentKey hashes everything that can change the response body:
-// the canonical program, the canonical machine, and the semantic
-// scheduling options. The machine and options stream straight into the
-// digest (CanonicalTo / canonOptionsTo); the program's canonical text
-// was rendered once at resolve time because the panic reproducer needs
-// it too. Parallelism is deliberately excluded (schedules are pinned
-// identical at every setting); the Verify flag is included because it
-// changes which requests fail.
+// the canonical program, the canonical machine, the semantic scheduling
+// options, and the canonical edge profile (which gates speculation and
+// drives superblock formation, so two requests differing only in
+// profile must not share a cache entry). The machine and options stream
+// straight into the digest (CanonicalTo / canonOptionsTo); the
+// program's canonical text was rendered once at resolve time because
+// the panic reproducer needs it too. Parallelism is deliberately
+// excluded (schedules are pinned identical at every setting); the
+// Verify flag is included because it changes which requests fail.
 func contentKey(j *job) Key {
 	h := sha256.New()
 	h.Write(j.canon)
@@ -326,6 +350,10 @@ func contentKey(j *job) Key {
 	j.mach.CanonicalTo(h)
 	h.Write([]byte{0})
 	canonOptionsTo(h, &j.opts, j.pipeline)
+	if j.opts.Profile != nil && j.opts.Profile.Len() > 0 {
+		h.Write([]byte("\x00profile=\n"))
+		h.Write(j.opts.Profile.AppendCanonical(nil))
+	}
 	if j.simulate != nil {
 		fmt.Fprintf(h, "\x00sim=%s%v", j.simulate.Entry, j.simulate.Args)
 	}
@@ -334,10 +362,10 @@ func contentKey(j *job) Key {
 	return k
 }
 
-// canonOptionsTo renders the semantic scheduling options
-// deterministically into w (typically a hash). Trace, Profile and
-// Parallelism are excluded: none of them can change the emitted
-// schedule.
+// canonOptionsTo renders the scalar scheduling options deterministically
+// into w (typically a hash). Trace and Parallelism are excluded: neither
+// can change the emitted schedule. The Profile — which can — is hashed
+// separately by contentKey in its canonical text form.
 func canonOptionsTo(w io.Writer, o *core.Options, pipeline bool) {
 	fmt.Fprintf(w,
 		"level=%s local=%t rename=%t spec=%d minprob=%g dup=%t loads=%t rb=%d ri=%d rl=%d verify=%t pipeline=%t exact_mb=%d exact_nodes=%d",

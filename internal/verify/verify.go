@@ -425,14 +425,22 @@ func (c *checker) checkDuplication(id int) {
 	// Copies may sit upstream of their predecessor: the session's own
 	// instance lands in the session block, later sessions may hoist a
 	// predecessor's copy further, and a copy sitting at a join of its own
-	// may be re-duplicated into that join's predecessors. What must hold
+	// may be re-duplicated into that join's predecessors. A copy may
+	// also sit in J itself — the group then has an instance at the
+	// original home, which every path entering J executes
+	// non-speculatively (this arises when textually identical
+	// instructions make the copy→original pairing ambiguous and an
+	// unmoved original absorbs another join's copies). What must hold
 	// is path coverage: every path entering J executes some copy on the
 	// way, and the last copy executed is always correctly placed (earlier
 	// ones are shadowed; join-bypassing executions are §5.3-checked
 	// below). done[b] computes "every forward path reaching the end of b
 	// has executed a copy" by structural induction over the forward graph.
 	for b := range cover {
-		if !predSet[b] && !(b != J && c.an.forwardReach(b, J)) {
+		if b == J {
+			continue // an instance at the home join itself
+		}
+		if !predSet[b] && !c.an.forwardReach(b, J) {
 			c.violate("duplication", ins, "copy placed in block %d, not upstream of join %d", b, J)
 			return
 		}
@@ -441,37 +449,44 @@ func (c *checker) checkDuplication(id int) {
 			return
 		}
 	}
-	done := make([]bool, len(c.f.Blocks))
-	for changed := true; changed; {
-		changed = false
-		for b := range done {
-			if done[b] {
-				continue
-			}
-			ok := cover[b]
-			if !ok && len(c.an.fpreds[b]) > 0 {
-				ok = true
-				for _, p := range c.an.fpreds[b] {
-					if !done[p] {
-						ok = false
-						break
+	// A copy at J covers every entering path by itself; otherwise every
+	// predecessor must be covered by the forward induction.
+	if !cover[J] {
+		done := make([]bool, len(c.f.Blocks))
+		for changed := true; changed; {
+			changed = false
+			for b := range done {
+				if done[b] {
+					continue
+				}
+				ok := cover[b]
+				if !ok && len(c.an.fpreds[b]) > 0 {
+					ok = true
+					for _, p := range c.an.fpreds[b] {
+						if !done[p] {
+							ok = false
+							break
+						}
 					}
 				}
-			}
-			if ok {
-				done[b] = true
-				changed = true
+				if ok {
+					done[b] = true
+					changed = true
+				}
 			}
 		}
-	}
-	for p := range predSet {
-		if !done[p] {
-			c.violate("duplication", ins, "predecessor block %d of join %d has no covering copy", p, J)
-			return
+		for p := range predSet {
+			if !done[p] {
+				c.violate("duplication", ins, "predecessor block %d of join %d has no covering copy", p, J)
+				return
+			}
 		}
 	}
 	c.dupGroup[id] = true
 	for _, pl := range c.placements[id] {
+		if pl.block == J {
+			continue // executes exactly where the original did: never speculative
+		}
 		c.checkOffPath(id, pl, J, "duplication")
 	}
 }

@@ -21,19 +21,30 @@ type Config struct {
 	// first pass and schedule them again.
 	Rotate          bool
 	RotateMaxBlocks int
+	// Superblock enables profile-driven tail duplication before the
+	// first scheduling pass. It only fires when the scheduling options
+	// both allow duplication (Options.Duplicate, i.e. level=dup) and
+	// carry an edge profile; the thresholds are DefaultSuperblock's.
+	Superblock bool
 }
 
 // DefaultConfig mirrors the paper's prototype: unroll and rotate inner
-// loops with up to 4 basic blocks.
+// loops with up to 4 basic blocks, plus superblock formation when a
+// profile is available at level=dup.
 func DefaultConfig() Config {
-	return Config{Unroll: true, UnrollMaxBlocks: 4, Rotate: true, RotateMaxBlocks: 4}
+	return Config{
+		Unroll: true, UnrollMaxBlocks: 4,
+		Rotate: true, RotateMaxBlocks: 4,
+		Superblock: true,
+	}
 }
 
 // Stats extends the scheduler's statistics with transformation counts.
 type Stats struct {
 	core.Stats
-	LoopsUnrolled int
-	LoopsRotated  int
+	LoopsUnrolled  int
+	LoopsRotated   int
+	TailDuplicated int
 }
 
 // Run executes the general flow of the global scheduling prototype
@@ -78,6 +89,11 @@ func RunCtx(ctx context.Context, f *ir.Func, opts core.Options, cfgX Config) (St
 	}
 
 	if opts.Level > core.LevelNone {
+		if cfgX.Superblock && opts.Duplicate && opts.Profile != nil {
+			done := opts.Trace.TimePhase(core.PhaseXform)
+			st.TailDuplicated = FormSuperblocks(f, opts.Profile, DefaultSuperblock())
+			done()
+		}
 		if cfgX.Unroll {
 			done := opts.Trace.TimePhase(core.PhaseXform)
 			st.LoopsUnrolled = transformInnerLoops(f, cfgX.UnrollMaxBlocks, UnrollOnce)
@@ -193,6 +209,7 @@ func RunProgramCtx(ctx context.Context, p *ir.Program, opts core.Options, cfgX C
 			st.Stats.Add(stats[i].Stats)
 			st.LoopsUnrolled += stats[i].LoopsUnrolled
 			st.LoopsRotated += stats[i].LoopsRotated
+			st.TailDuplicated += stats[i].TailDuplicated
 		}
 		return st, nil
 	}
@@ -204,6 +221,7 @@ func RunProgramCtx(ctx context.Context, p *ir.Program, opts core.Options, cfgX C
 		st.Stats.Add(s.Stats)
 		st.LoopsUnrolled += s.LoopsUnrolled
 		st.LoopsRotated += s.LoopsRotated
+		st.TailDuplicated += s.TailDuplicated
 	}
 	return st, nil
 }

@@ -112,6 +112,52 @@ func TestJobsSweepDeterministic(t *testing.T) {
 	}
 }
 
+// TestJobsSweepDeterministicLevelDup is the jobs sweep at level=dup
+// with a trained edge profile in play: profile-gated speculation,
+// Definition-6 dup-motion and superblock formation must all be
+// byte-deterministic across worker counts. The profile is trained once
+// per workload and shared by every sweep point, exactly as a client
+// would reuse an uploaded profile.
+func TestJobsSweepDeterministicLevelDup(t *testing.T) {
+	mach := machine.RS6K()
+	for _, w := range workload.All() {
+		base, err := w.Compile()
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		prof := gsched.NewProfile()
+		if _, err := gsched.Run(base, w.Entry, w.Args, w.Data, gsched.RunOptions{Profile: prof}); err != nil {
+			t.Fatalf("%s: training run: %v", w.Name, err)
+		}
+		var wantAsm string
+		var wantStats xform.Stats
+		for k, jobs := range jobsSweep() {
+			prog, err := w.Compile()
+			if err != nil {
+				t.Fatalf("%s: %v", w.Name, err)
+			}
+			opts := core.Defaults(mach, core.LevelDup)
+			opts.Profile = prof
+			opts.Parallelism = jobs
+			stats, err := xform.RunProgram(prog, opts, xform.DefaultConfig())
+			if err != nil {
+				t.Fatalf("%s jobs=%d: %v", w.Name, jobs, err)
+			}
+			asm := gsched.PrintAsm(prog)
+			if k == 0 {
+				wantAsm, wantStats = asm, stats
+				continue
+			}
+			if asm != wantAsm {
+				t.Errorf("%s jobs=%d: level=dup schedule differs from jobs=1", w.Name, jobs)
+			}
+			if stats != wantStats {
+				t.Errorf("%s jobs=%d: stats differ: %+v, want %+v", w.Name, jobs, stats, wantStats)
+			}
+		}
+	}
+}
+
 // TestProgenJobsSweepDeterministic is the same sweep over generated
 // programs, whose loop nests and call graphs are bushier than the
 // hand-written workloads and so exercise deeper region trees.

@@ -1,0 +1,28 @@
+; difftest reproducer (seed 11)
+; cell: scalar/useful/j1
+; machine: scalar(fixed=1 float=1 branch=1 load+0 cmp->br+0)
+; oracle: verify
+;   verify: 1 violation(s)
+;     main: [dependence] id 0 "L r78=g0(r77,0)": flow dependence (r78) on "A r79=r76,r78" reordered within block 16
+data g0 5 = 16 5
+func main r0 r1:
+entry:
+.while1:
+.while3:
+.wend4:
+.wend2:
+.for5:
+.for8:
+.endif12:
+.fpost9:
+.fend10:
+.for13:
+.fpost14:
+.fend15:
+.or18:
+.endif17:
+.fpost6:
+.fend7:
+	L r78=g0(r77,0)
+	A r79=r76,r78
+	RET r79

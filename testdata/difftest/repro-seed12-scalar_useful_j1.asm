@@ -1,0 +1,18 @@
+; difftest reproducer (seed 12)
+; cell: scalar/useful/j1
+; machine: scalar(fixed=1 float=1 branch=1 load+0 cmp->br+0)
+; oracle: verify
+;   verify: 1 violation(s)
+;     helper: [dependence] id 0 "DIV r6=r4,r5": flow dependence (r6) on "CALL print,r6" reordered within block 1
+data g0 5 = -10 -14 3
+func helper r0 r1:
+entry:
+.for1:
+	DIV r6=r4,r5
+	CALL print,r6
+.fpost2:
+.fend3:
+	RET r9
+func main r0 r1:
+entry:
+	RET r25

@@ -1,0 +1,57 @@
+; difftest reproducer (seed 13)
+; cell: scalar/useful/j1
+; machine: scalar(fixed=1 float=1 branch=1 load+0 cmp->br+0)
+; oracle: verify
+;   verify: 1 violation(s)
+;     main: [dependence] id 0 "FA f25=f24,f0": flow dependence (f25) on "FA f26=f25,f4" reordered within block 25
+data g0 5 = -65 59 51
+data g1 14 = -1 95
+data s0 1 = -2
+func helper r0 r1:
+entry:
+.for5:
+.fpost6:
+.fend7:
+.else3:
+.for10:
+.fpost11:
+.fend12:
+.endif9:
+.for13:
+.else16:
+.endif17:
+.fpost14:
+.fend15:
+.endif4:
+.endif2:
+	RET r67
+func main r0 r1:
+entry:
+.while20:
+.for22:
+.for25:
+.endif29:
+.endif31:
+.fpost26:
+.fend27:
+.for32:
+.fpost33:
+.fend34:
+.fpost23:
+.fend24:
+.while35:
+.wend36:
+.while37:
+.while39:
+.wend40:
+.while41:
+.wend42:
+.wend38:
+.wend21:
+.else18:
+.else43:
+.endif44:
+.endif19:
+	FA f25=f24,f0
+	FA f26=f25,f4
+	RET r183
