@@ -13,6 +13,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -31,6 +32,7 @@ import (
 	"gsched/internal/machine"
 	"gsched/internal/progen"
 	"gsched/internal/serve"
+	"gsched/internal/tune"
 	"gsched/internal/workload"
 	"gsched/internal/xform"
 )
@@ -71,6 +73,13 @@ type Report struct {
 	// workload proxies. Cycle counts are deterministic, so diffs here
 	// are real scheduling changes, not timing noise.
 	SpeedupVsDepth []eval.DepthPoint `json:"speedup_vs_depth,omitempty"`
+
+	// Tuned holds one auto-tuner run per workload proxy (fixed seed,
+	// mode=both): the best (policy, machine) pair found versus the
+	// built-in §5.2 order on the stock RS6K. Deterministic in the seed,
+	// so these diff like the curve: a change is a real search-space or
+	// scheduler change.
+	Tuned []*tune.Result `json:"tuned,omitempty"`
 }
 
 func main() {
@@ -79,6 +88,8 @@ func main() {
 	parallel := flag.Int("parallel", 4, "client goroutines per GOMAXPROCS in the serving benchmarks")
 	clusterBench := flag.Bool("cluster", true, "include the 3-node cluster capacity benchmarks")
 	curve := flag.Bool("curve", true, "include the speedup-vs-speculation-depth curve")
+	tuneRuns := flag.Bool("tune", true, "include per-workload auto-tuner runs (policy + machine search)")
+	tuneIters := flag.Int("tune-iters", 32, "candidate evaluations per auto-tuner run")
 	testing.Init()
 	flag.Parse()
 	if err := flag.Lookup("test.benchtime").Value.Set(*benchtime); err != nil {
@@ -153,6 +164,23 @@ func main() {
 			os.Exit(1)
 		}
 		report.SpeedupVsDepth = points
+	}
+
+	if *tuneRuns {
+		for _, w := range workload.All() {
+			fmt.Fprintf(os.Stderr, "tuning %s...\n", w.Name)
+			res, err := tune.Run(context.Background(), tune.Config{
+				Seed: 1, Iters: *tuneIters, Mode: tune.ModeBoth,
+				Workloads: []*workload.Workload{w},
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "  baseline %d cycles, best %d (%.1f%%)\n",
+				res.BaselineCycles, res.BestCycles, res.ImprovedPct)
+			report.Tuned = append(report.Tuned, res)
+		}
 	}
 
 	enc, err := json.MarshalIndent(&report, "", "  ")

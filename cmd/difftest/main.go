@@ -14,6 +14,7 @@
 //	difftest -seed 42 -programs 16
 //	difftest -seed 1 -out testdata/difftest
 //	difftest -inject        // self-test: plant a bug, expect a catch
+//	difftest -policy        // sweep only the scheduling-policy cells
 package main
 
 import (
@@ -32,6 +33,7 @@ var (
 	maxBugs   = flag.Int("max-mismatches", 3, "stop after this many shrunk reproducers")
 	outDir    = flag.String("out", "", "write shrunk reproducers (.asm) into this directory")
 	inject    = flag.Bool("inject", false, "self-test: corrupt every schedule with a dependence swap; exit 0 only if the engine catches it")
+	policyF   = flag.Bool("policy", false, "sweep only the scheduling-policy cells of the lattice")
 	quietFlag = flag.Bool("q", false, "print only the final summary line")
 )
 
@@ -74,6 +76,7 @@ func realMain() (*difftest.Report, error) {
 		BruteMax:       *bruteMax,
 		MaxMismatches:  *maxBugs,
 		OutDir:         *outDir,
+		PolicyOnly:     *policyF,
 	}
 	if *inject {
 		e.Mutate = difftest.SwapDependent

@@ -40,6 +40,7 @@ var (
 	jobs     = flag.Int("jobs", runtime.NumCPU(), "schedule this many functions concurrently (1 = sequential); schedules are identical at any setting")
 	profIn   = flag.String("profile", "", "edge profile file (gsched-profile v1) guiding speculation and, at -level dup, superblock formation")
 	profOut  = flag.String("profile-out", "", "with -run: write the run's edge profile to this file")
+	policyF  = flag.String("policy", "", "scheduling policy expression replacing the §5.2 priority order (or @file to read one); 'default' names the built-in order")
 )
 
 func main() {
@@ -105,6 +106,24 @@ func realMain(path string) error {
 			return fmt.Errorf("%s: %w", *profIn, err)
 		}
 		opts.Profile = prof
+	}
+	if *policyF != "" {
+		src := *policyF
+		switch {
+		case src == "default":
+			src = gsched.DefaultPolicySource
+		case strings.HasPrefix(src, "@"):
+			data, err := os.ReadFile(src[1:])
+			if err != nil {
+				return err
+			}
+			src = string(data)
+		}
+		pol, err := gsched.ParsePolicy(src)
+		if err != nil {
+			return err
+		}
+		opts.Policy = pol
 	}
 	var st gsched.PipelineStats
 	if *pipeline {

@@ -28,6 +28,7 @@ import (
 	"gsched/internal/machine"
 	"gsched/internal/minic"
 	"gsched/internal/opt"
+	"gsched/internal/policy"
 	"gsched/internal/profile"
 	"gsched/internal/regalloc"
 	"gsched/internal/sim"
@@ -131,6 +132,26 @@ func ParseProfile(src string) (*Profile, error) { return profile.Parse(src) }
 func Allocate(p *Program, lim RegLimits) (AllocStats, error) {
 	return regalloc.Program(p, lim)
 }
+
+// Policy is a compiled scheduling policy: a small expression program
+// that replaces the built-in §5.2 priority order and optionally gates
+// speculative and duplication candidates (Options.Policy). See
+// internal/policy for the language.
+type Policy = policy.Policy
+
+// ParsePolicy parses, canonicalises, and compiles a policy program.
+func ParsePolicy(src string) (*Policy, error) { return policy.Parse(src) }
+
+// DefaultPolicy returns the policy expression that reproduces the
+// built-in §5.2 decision order exactly (byte-identical schedules).
+func DefaultPolicy() *Policy { return policy.Default() }
+
+// DefaultPolicySource is the source of DefaultPolicy.
+const DefaultPolicySource = policy.DefaultSource
+
+// RandomPolicy returns a deterministic, always-valid policy derived
+// from the seed (see internal/policy.Random).
+func RandomPolicy(seed int64) *Policy { return policy.Random(seed) }
 
 // ParseAsm parses the textual assembly form (Figure 2 notation).
 func ParseAsm(src string) (*Program, error) { return asm.Parse(src) }

@@ -9,6 +9,7 @@ import (
 	"gsched/internal/dataflow"
 	"gsched/internal/ir"
 	"gsched/internal/pdg"
+	"gsched/internal/policy"
 )
 
 // homeOf locates the block an instruction currently lives in (debugging).
@@ -33,6 +34,11 @@ type candidate struct {
 	pos   int     // original program position, for the final tie-break
 	d, cp int     // §5.2 heuristics, computed in the home block
 	prob  float64 // execution probability of home given the target (1 without profile)
+
+	// feat is the policy feature vector, filled only when a policy is
+	// installed (Options.Policy); otherwise it stays zero and costs
+	// nothing beyond its arena footprint.
+	feat policy.Features
 }
 
 // class ranks the §5.2 candidate classes: useful before speculative
@@ -156,12 +162,33 @@ func (rs *regionScheduler) gatherCandidates(a int) []*candidate {
 	pl.stamp++
 	pl.resetCands()
 	cands := pl.cands[:0]
+	pol := rs.opts.Policy
+	// specDepth is the Definition-7 degree each speculative candidate
+	// block first appears at, for the policy specdeg feature. Zero
+	// stays "not speculative"; it is only filled when a policy asks
+	// for features and the degree exceeds one.
+	var specDepth map[int]int
 	add := func(i *ir.Instr, home int, spec, dup bool, prob float64) {
 		h := rs.heightsOf(home)
 		c := pl.newCand()
 		*c = candidate{
 			instr: i, home: home, spec: spec, dup: dup, prob: prob,
 			pos: rs.pos[i.ID], d: h.D(i.ID), cp: h.CP(i.ID),
+		}
+		if pol != nil {
+			deg := 0
+			if spec {
+				if deg = specDepth[home]; deg == 0 {
+					deg = 1
+				}
+			}
+			rs.fillFeatures(c, deg)
+			// The gate only ever drops candidates for motion into a —
+			// never a block's own instructions — so any gate is legal.
+			if (spec || dup) && !pol.Gate(&c.feat) {
+				pl.candUsed-- // return the untouched arena slot
+				return
+			}
 		}
 		cands = append(cands, c)
 	}
@@ -187,6 +214,16 @@ func (rs *regionScheduler) gatherCandidates(a int) []*candidate {
 		degree := rs.opts.SpecDegree
 		if degree < 1 {
 			degree = 1
+		}
+		if pol != nil && degree > 1 {
+			specDepth = make(map[int]int)
+			for n := 1; n <= degree; n++ {
+				for _, b := range rs.p.SpecCandidatesN(a, n) {
+					if _, ok := specDepth[b]; !ok {
+						specDepth[b] = n
+					}
+				}
+			}
 		}
 		for _, b := range rs.p.SpecCandidatesN(a, degree) {
 			if !rs.own[b] {
@@ -231,6 +268,61 @@ func (rs *regionScheduler) gatherCandidates(a int) []*candidate {
 	}
 	pl.cands = cands
 	return cands
+}
+
+// fillFeatures populates the candidate's policy feature vector (zeroed
+// by the caller) from the state gatherCandidates already has at hand.
+// specdeg is the Definition-7 degree of a speculative candidate (0
+// otherwise).
+func (rs *regionScheduler) fillFeatures(c *candidate, specdeg int) {
+	f := &c.feat
+	f[policy.FeatD] = float64(c.d)
+	f[policy.FeatCP] = float64(c.cp)
+	f[policy.FeatSlack] = rs.maxCPOf(c.home) - float64(c.cp)
+	f[policy.FeatPos] = float64(c.pos)
+	if c.spec {
+		f[policy.FeatSpec] = 1
+	}
+	if c.dup {
+		f[policy.FeatDup] = 1
+	}
+	f[policy.FeatClass] = float64(c.class())
+	f[policy.FeatProb] = c.prob
+	f[policy.FeatExec] = float64(rs.opts.Machine.Exec(c.instr.Op))
+	f[policy.FeatFanin] = float64(len(rs.p.DDG.PredsOf(c.instr.ID)))
+	f[policy.FeatFanout] = float64(len(rs.p.DDG.SuccsOf(c.instr.ID)))
+	if c.instr.Op.IsLoad() {
+		f[policy.FeatIsLoad] = 1
+	}
+	if c.instr.Op.IsStore() {
+		f[policy.FeatIsStore] = 1
+	}
+	if c.instr.Op.IsBranch() {
+		f[policy.FeatIsBranch] = 1
+	}
+	if c.instr.Op.IsFloat() {
+		f[policy.FeatIsFloat] = 1
+	}
+	f[policy.FeatSpecDeg] = float64(specdeg)
+}
+
+// maxCPOf returns the maximum critical-path height in block b, cached
+// per session alongside the heights (the baseline of the policy slack
+// feature).
+func (rs *regionScheduler) maxCPOf(b int) float64 {
+	pl := rs.pl
+	if pl.maxCPStamp[b] != pl.stamp {
+		h := rs.heightsOf(b)
+		m := 0
+		for _, i := range rs.f.Blocks[b].Instrs {
+			if cp := h.CP(i.ID); cp > m {
+				m = cp
+			}
+		}
+		pl.maxCP[b] = m
+		pl.maxCPStamp[b] = pl.stamp
+	}
+	return float64(pl.maxCP[b])
 }
 
 // dupJoinsBelow lists the CFG successors of a that qualify for
@@ -388,6 +480,14 @@ func (rs *regionScheduler) scheduleBlock(a int) {
 	}
 	cands := rs.viability(a, rs.gatherCandidates(a))
 
+	// The ready-list order: the built-in §5.2 comparator, or the
+	// installed policy's priority expression over the feature vectors
+	// gatherCandidates filled in.
+	cmp := compareCandidates
+	if pol := rs.opts.Policy; pol != nil && pol.HasPriority() {
+		cmp = func(x, y *candidate) int { return pol.Compare(&x.feat, &y.feat, x.pos, y.pos) }
+	}
+
 	// done marks instructions placed in this session. Duplication can
 	// clone instructions mid-session; clone IDs fall outside the table
 	// and are never session-placed, so out-of-range reads are false.
@@ -463,7 +563,7 @@ func (rs *regionScheduler) scheduleBlock(a int) {
 				ready = append(ready, c)
 			}
 		}
-		slices.SortFunc(ready, compareCandidates)
+		slices.SortFunc(ready, cmp)
 
 		var unitsUsed [8]int
 

@@ -6,6 +6,7 @@ import (
 	"gsched/internal/ir"
 	"gsched/internal/machine"
 	"gsched/internal/pdg"
+	"gsched/internal/policy"
 )
 
 // localScratch holds the local scheduler's per-block buffers, owned by a
@@ -23,6 +24,9 @@ type localScratch struct {
 type localNode struct {
 	instr *ir.Instr
 	pos   int
+	// feat is filled only when a policy with a priority expression is
+	// installed; see fillLocalFeatures.
+	feat policy.Features
 }
 
 // ScheduleBlockLocal reorders one basic block with a cycle-driven list
@@ -32,13 +36,22 @@ type localNode struct {
 // of the BASE configuration's scheduling, standing in for the XL
 // compiler's local scheduler of [W90].
 func ScheduleBlockLocal(blk *ir.Block, mach *machine.Desc) {
-	pl := getPipeline()
-	defer putPipeline(pl)
-	pl.scheduleBlockLocal(blk, mach)
+	ScheduleBlockLocalPolicy(blk, mach, nil)
 }
 
-// scheduleBlockLocal is ScheduleBlockLocal on this pipeline's buffers.
-func (pl *pipeline) scheduleBlockLocal(blk *ir.Block, mach *machine.Desc) {
+// ScheduleBlockLocalPolicy is ScheduleBlockLocal with a scheduling
+// policy: a non-nil policy's priority expression replaces the (D, CP,
+// position) ready-list order. The gate does not apply — the post-pass
+// never moves instructions between blocks, so there is nothing to veto.
+func ScheduleBlockLocalPolicy(blk *ir.Block, mach *machine.Desc, pol *policy.Policy) {
+	pl := getPipeline()
+	defer putPipeline(pl)
+	pl.scheduleBlockLocal(blk, mach, pol)
+}
+
+// scheduleBlockLocal is ScheduleBlockLocalPolicy on this pipeline's
+// buffers.
+func (pl *pipeline) scheduleBlockLocal(blk *ir.Block, mach *machine.Desc, pol *policy.Policy) {
 	if len(blk.Instrs) < 2 {
 		return
 	}
@@ -64,6 +77,44 @@ func (pl *pipeline) scheduleBlockLocal(blk *ir.Block, mach *machine.Desc) {
 	done := grown(pl.local.done, hi-lo+1)
 	cycleOf := grown(pl.local.cycleOf, hi-lo+1)
 	newOrder := pl.local.newOrder[:0]
+
+	usePol := pol != nil && pol.HasPriority()
+	if usePol {
+		maxCP := 0
+		for _, i := range blk.Instrs {
+			if cp := h.CP(i.ID); cp > maxCP {
+				maxCP = cp
+			}
+		}
+		for k := range nodes {
+			n := &nodes[k]
+			i := n.instr
+			f := &n.feat // zeroed by grown above
+			f[policy.FeatD] = float64(h.D(i.ID))
+			f[policy.FeatCP] = float64(h.CP(i.ID))
+			f[policy.FeatSlack] = float64(maxCP - h.CP(i.ID))
+			f[policy.FeatPos] = float64(n.pos)
+			f[policy.FeatProb] = 1 // a block always reaches its own code
+			f[policy.FeatExec] = float64(mach.Exec(i.Op))
+			f[policy.FeatFanin] = float64(len(ddg.PredsOf(i.ID)))
+			f[policy.FeatFanout] = float64(len(ddg.SuccsOf(i.ID)))
+			if i.Op.IsLoad() {
+				f[policy.FeatIsLoad] = 1
+			}
+			if i.Op.IsStore() {
+				f[policy.FeatIsStore] = 1
+			}
+			if i.Op.IsBranch() {
+				f[policy.FeatIsBranch] = 1
+			}
+			if i.Op.IsFloat() {
+				f[policy.FeatIsFloat] = 1
+			}
+			// spec, dup, class and specdeg stay 0: local scheduling
+			// never moves anything, so every node is a useful candidate
+			// of its own block.
+		}
+	}
 
 	earliest := func(i *ir.Instr) int {
 		at := 0
@@ -95,15 +146,21 @@ func (pl *pipeline) scheduleBlockLocal(blk *ir.Block, mach *machine.Desc) {
 				ready = append(ready, n)
 			}
 		}
-		slices.SortFunc(ready, func(x, y localNode) int {
-			if dx, dy := h.D(x.instr.ID), h.D(y.instr.ID); dx != dy {
-				return dy - dx
-			}
-			if cx, cy := h.CP(x.instr.ID), h.CP(y.instr.ID); cx != cy {
-				return cy - cx
-			}
-			return x.pos - y.pos
-		})
+		if usePol {
+			slices.SortFunc(ready, func(x, y localNode) int {
+				return pol.Compare(&x.feat, &y.feat, x.pos, y.pos)
+			})
+		} else {
+			slices.SortFunc(ready, func(x, y localNode) int {
+				if dx, dy := h.D(x.instr.ID), h.D(y.instr.ID); dx != dy {
+					return dy - dx
+				}
+				if cx, cy := h.CP(x.instr.ID), h.CP(y.instr.ID); cx != cy {
+					return cy - cx
+				}
+				return x.pos - y.pos
+			})
+		}
 		var unitsUsed [8]int
 		for _, n := range ready {
 			t := mach.Unit(n.instr.Op)

@@ -15,6 +15,7 @@ import (
 	"runtime"
 
 	"gsched/internal/machine"
+	"gsched/internal/policy"
 	"gsched/internal/profile"
 	"gsched/internal/verify"
 )
@@ -103,6 +104,16 @@ type Options struct {
 	// blocks. Off by default, matching the paper's stated limitation
 	// ("no duplication of code is allowed").
 	Duplicate bool
+	// Policy, when non-nil, replaces the built-in §5.2 priority order
+	// with the policy's compiled priority expression — in the global
+	// sessions and the basic block post-pass alike — and, when the
+	// policy defines a gate, additionally filters speculative and
+	// duplication candidates through it. Dropping candidates and
+	// reordering the ready list are both always legal (the §5.3 motion
+	// rules still apply at pick time), so any valid policy yields a
+	// verifiable schedule. Nil keeps the paper's fixed heuristic at
+	// zero overhead.
+	Policy *policy.Policy
 	// SpeculateLoads permits loads to be scheduled speculatively. The
 	// simulated machine's loads cannot trap on speculation gone wrong
 	// paths within allocated symbols, matching the paper's

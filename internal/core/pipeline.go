@@ -44,9 +44,13 @@ type pipeline struct {
 
 	// Per-block priority caches, invalidated by bumping stamp (which
 	// only ever increases, so stale entries from earlier regions or
-	// functions can never match).
+	// functions can never match). maxCP caches the per-block maximum
+	// critical path for the policy slack feature; it is only filled
+	// when a policy is installed.
 	heights     []pdg.HeightVals
 	heightStamp []int
+	maxCP       []int
+	maxCPStamp  []int
 	stamp       int
 
 	local localScratch
@@ -122,6 +126,8 @@ func (pl *pipeline) scheduleRegion(f *ir.Func, g *cfg.Graph, li *cfg.LoopInfo, r
 	pl.processed = grown(pl.processed, nb)
 	pl.heights = resizeNoClear(pl.heights, nb)
 	pl.heightStamp = resizeNoClear(pl.heightStamp, nb)
+	pl.maxCP = resizeNoClear(pl.maxCP, nb)
+	pl.maxCPStamp = resizeNoClear(pl.maxCPStamp, nb)
 	rs := &regionScheduler{
 		f: f, g: g, p: p, opts: opts, st: st, pl: pl,
 		scheduled: pl.scheduled,

@@ -64,7 +64,7 @@ func ScheduleFuncCtx(ctx context.Context, f *ir.Func, opts Options) (Stats, erro
 		}
 		done := opts.Trace.TimePhase(PhaseLocal)
 		for _, b := range f.Blocks {
-			pl.scheduleBlockLocal(b, opts.Machine)
+			pl.scheduleBlockLocal(b, opts.Machine, opts.Policy)
 			st.LocalBlocks++
 		}
 		done()

@@ -43,6 +43,11 @@ type Engine struct {
 	// OutDir, when non-empty, receives one .asm reproducer file per
 	// mismatch.
 	OutDir string
+	// PolicyOnly restricts the sweep to the scheduling-policy cells of
+	// the lattice (the CI policy smoke uses this for a focused sweep).
+	// The shrinker then also keeps the policy dimension instead of
+	// dropping it, so reproducers stay inside the configured cell space.
+	PolicyOnly bool
 	// Mutate, when non-nil, corrupts each scheduled program before the
 	// oracles run and reports whether it changed anything. It simulates
 	// a scheduler bug: the engine must catch and shrink it. Used by the
@@ -118,6 +123,15 @@ func (e *Engine) defaults() {
 func (e *Engine) Run() (*Report, error) {
 	e.defaults()
 	cells := Lattice(Machines(e.Seed, e.RandomMachines))
+	if e.PolicyOnly {
+		var pc []Cell
+		for _, c := range cells {
+			if c.Policy != "" {
+				pc = append(pc, c)
+			}
+		}
+		cells = pc
+	}
 	rep := &Report{}
 	for k := 0; k < e.Programs; k++ {
 		seed := e.Seed + int64(k)
@@ -331,6 +345,11 @@ func (e *Engine) writeRepro(m *Mismatch) error {
 	fmt.Fprintf(&b, "; difftest reproducer (seed %d)\n", m.Seed)
 	fmt.Fprintf(&b, "; cell: %s\n", m.Cell)
 	fmt.Fprintf(&b, "; machine: %s\n", m.Cell.Machine)
+	if m.Cell.Policy != "" {
+		for _, line := range strings.Split(m.Cell.Policy, "\n") {
+			fmt.Fprintf(&b, "; policy: %s\n", line)
+		}
+	}
 	fmt.Fprintf(&b, "; oracle: %s\n", m.Oracle)
 	for _, line := range strings.Split(m.Err, "\n") {
 		fmt.Fprintf(&b, ";   %s\n", line)

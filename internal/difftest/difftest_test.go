@@ -84,21 +84,24 @@ func TestDiffLattice(t *testing.T) {
 	})
 }
 
-// TestLatticeShape pins the lattice geometry: 12 cells per machine —
+// TestLatticeShape pins the lattice geometry: 14 cells per machine —
 // the 8 profile-free cells (levels × rename × workers, duplication tied
 // to the speculative level), 2 LevelDup+profile cells (1 and 4
-// workers), and 2 probability-gated speculative cells (p 0.5 and 0.9).
+// workers), 2 probability-gated speculative cells (p 0.5 and 0.9), and
+// 2 seeded-random scheduling-policy cells (distinct policy seeds per
+// machine, one plain and one rename+4-worker).
 func TestLatticeShape(t *testing.T) {
 	ms := Machines(7, 3)
 	if len(ms) != 7 {
 		t.Fatalf("Machines(7, 3) = %d machines, want 7", len(ms))
 	}
 	cells := Lattice(ms)
-	if len(cells) != 12*len(ms) {
-		t.Fatalf("lattice has %d cells, want %d", len(cells), 12*len(ms))
+	if len(cells) != 14*len(ms) {
+		t.Fatalf("lattice has %d cells, want %d", len(cells), 14*len(ms))
 	}
 	seen := make(map[string]bool)
-	dupCells, gated := 0, 0
+	dupCells, gated, polCells := 0, 0, 0
+	polSrcs := make(map[string]bool)
 	for _, c := range cells {
 		if seen[c.String()] {
 			t.Errorf("duplicate cell %s", c)
@@ -118,6 +121,16 @@ func TestLatticeShape(t *testing.T) {
 			if got := c.Options().MinSpecProb; got != c.MinSpecProb {
 				t.Errorf("cell %s: Options().MinSpecProb = %g", c, got)
 			}
+		case c.Policy != "":
+			polCells++
+			polSrcs[c.Policy] = true
+			if c.Level != core.LevelSpeculative {
+				t.Errorf("cell %s: policy cells sweep the speculative level", c)
+			}
+			o := c.Options()
+			if o.Policy == nil || o.Policy.Canonical() != c.Policy {
+				t.Errorf("cell %s: Options() does not install the cell policy", c)
+			}
 		default:
 			if c.Duplicate != (c.Level == core.LevelSpeculative) {
 				t.Errorf("cell %s: duplication should track the speculative level", c)
@@ -128,7 +141,12 @@ func TestLatticeShape(t *testing.T) {
 			t.Errorf("cell %s: engine must own renaming and verification", c)
 		}
 	}
-	if dupCells != 2*len(ms) || gated != 2*len(ms) {
-		t.Errorf("dup cells %d, gated cells %d; want %d each", dupCells, gated, 2*len(ms))
+	if dupCells != 2*len(ms) || gated != 2*len(ms) || polCells != 2*len(ms) {
+		t.Errorf("dup cells %d, gated cells %d, policy cells %d; want %d each",
+			dupCells, gated, polCells, 2*len(ms))
+	}
+	// Distinct seeds per machine: no two machines sweep the same policy.
+	if len(polSrcs) != polCells {
+		t.Errorf("only %d distinct policies across %d policy cells", len(polSrcs), polCells)
 	}
 }

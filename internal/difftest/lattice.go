@@ -24,6 +24,7 @@ import (
 
 	"gsched/internal/core"
 	"gsched/internal/machine"
+	"gsched/internal/policy"
 )
 
 // Cell is one point of the configuration lattice: a machine description
@@ -48,6 +49,12 @@ type Cell struct {
 	// be identical either way, so sweeping it differentially tests the
 	// determinism claim too).
 	Parallelism int
+	// Policy, when non-empty, installs this scheduling-policy program
+	// (internal/policy source, kept in canonical form) in place of the
+	// built-in §5.2 priority order. Every oracle must still pass: a
+	// policy can only reorder the ready list or veto candidates, never
+	// legalise an illegal motion.
+	Policy string
 }
 
 func (c Cell) String() string {
@@ -60,6 +67,9 @@ func (c Cell) String() string {
 	}
 	if c.MinSpecProb > 0 {
 		s += fmt.Sprintf("+p%g", c.MinSpecProb)
+	}
+	if c.Policy != "" {
+		s += "+pol" + policy.MustParse(c.Policy).Hash()[:8]
 	}
 	if c.Rename {
 		s += "/rename"
@@ -78,6 +88,9 @@ func (c Cell) Options() core.Options {
 	o.Parallelism = c.Parallelism
 	if c.MinSpecProb > 0 {
 		o.MinSpecProb = c.MinSpecProb
+	}
+	if c.Policy != "" {
+		o.Policy = policy.MustParse(c.Policy)
 	}
 	return o
 }
@@ -104,10 +117,13 @@ func Machines(seed int64, randoms int) []*machine.Desc {
 // level (matching the fuzz harness configuration), plus the
 // profile-bearing cells: dup-motion at LevelDup (1 and 4 workers, so
 // determinism is differentially tested with a profile in play) and
-// probability-gated speculation at p ∈ {0.5, 0.9}.
+// probability-gated speculation at p ∈ {0.5, 0.9}. Each machine also
+// carries two seeded-random scheduling-policy cells (distinct seeds per
+// machine), so the scriptable priority/gate path sweeps through all
+// four oracles on every machine shape.
 func Lattice(machines []*machine.Desc) []Cell {
 	var cells []Cell
-	for _, m := range machines {
+	for mi, m := range machines {
 		for _, lv := range []core.Level{core.LevelUseful, core.LevelSpeculative} {
 			for _, ren := range []bool{false, true} {
 				for _, par := range []int{1, 4} {
@@ -139,6 +155,25 @@ func Lattice(machines []*machine.Desc) []Cell {
 				Parallelism: 1,
 			})
 		}
+		// Two random policies per machine, on distinct seeds so no two
+		// machines sweep the same heuristic. One cell runs plain, the
+		// other stacks renaming and 4 workers on top (policy comparators
+		// must stay byte-deterministic under region parallelism too).
+		cells = append(cells,
+			Cell{
+				Machine:     m,
+				Level:       core.LevelSpeculative,
+				Policy:      policy.Random(2*int64(mi) + 1).Canonical(),
+				Parallelism: 1,
+			},
+			Cell{
+				Machine:     m,
+				Level:       core.LevelSpeculative,
+				Policy:      policy.Random(2*int64(mi) + 2).Canonical(),
+				Rename:      true,
+				Parallelism: 4,
+			},
+		)
 	}
 	return cells
 }

@@ -10,9 +10,9 @@ import (
 
 // shrink reduces a failing (program, machine, options) triple to a
 // minimal reproducer by greedy delta debugging: first the cell is
-// simplified (fewer workers, no renaming, no probability gate, no
-// profile, no duplication, useful-only, simpler machine), then whole
-// non-entry functions and then single
+// simplified (no custom policy, fewer workers, no renaming, no
+// probability gate, no profile, no duplication, useful-only, simpler
+// machine), then whole non-entry functions and then single
 // instructions are dropped to a fixpoint. A candidate is kept only if
 // it still validates, still runs functionally, and still trips an
 // oracle (not necessarily the original one — any failure is a bug).
@@ -53,6 +53,15 @@ func (e *Engine) shrink(prog *ir.Program, entry string, args []int64, cell Cell,
 		if err := fails(cur, c); err != nil {
 			cell, lastErr = c, err
 		}
+	}
+	if cell.Policy != "" && !e.PolicyOnly {
+		// Drop the policy dimension first: if the failure reproduces
+		// under the built-in §5.2 order, the reproducer should not point
+		// a finger at the policy engine. A PolicyOnly sweep keeps it, so
+		// the reproducer stays inside the configured cell space.
+		c := cell
+		c.Policy = ""
+		tryCell(c)
 	}
 	if cell.Parallelism != 1 {
 		c := cell

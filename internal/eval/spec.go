@@ -40,6 +40,20 @@ func CompileGlobal(w *workload.Workload, mach *machine.Desc, level core.Level) (
 	return prog, err
 }
 
+// CompileGlobalOpts builds a workload with the machine-independent
+// optimiser and the full §6 pipeline under explicit scheduling options
+// (the auto-tuner threads candidate policies and machines through
+// here; CompileGlobal is the options-default special case).
+func CompileGlobalOpts(w *workload.Workload, opts core.Options) (*ir.Program, error) {
+	prog, err := minic.Compile(w.Source)
+	if err != nil {
+		return nil, err
+	}
+	opt.Program(prog)
+	_, err = xform.RunProgram(prog, opts, xform.DefaultConfig())
+	return prog, err
+}
+
 // Cycles runs a compiled workload on the machine and returns simulated
 // cycles.
 func Cycles(w *workload.Workload, prog *ir.Program, mach *machine.Desc) (int64, error) {

@@ -173,16 +173,36 @@ func Wide() *Desc {
 // Random returns a seeded-random but always valid machine description:
 // unit counts, execution times and the four delay kinds are drawn from
 // ranges that bracket the RS6K values on both sides (including the
-// no-delay and heavily-delayed corners). Equal seeds give equal
-// machines, so differential-test failures replay exactly.
+// no-delay and heavily-delayed corners). The draw space deliberately
+// includes unit mixes with zero units of a type — machines that cannot
+// issue some opcodes at all — which Desc.Validate rejects; Random keeps
+// drawing from the same seeded stream until a realisable machine
+// appears. Equal seeds give equal machines, so differential-test
+// failures replay exactly.
 func Random(seed int64) *Desc {
 	r := rand.New(rand.NewSource(seed))
-	d := &Desc{
+	for {
+		d := randomDraw(r, seed)
+		if d.Validate() == nil {
+			return d
+		}
+	}
+}
+
+// randomDraw makes one draw from the widened descriptor space the
+// auto-tuner searches. Unit counts start at zero, so a single draw may
+// describe an unissuable machine; callers must Validate and re-draw
+// (see Random). Keeping the invalid corners in the space — rather than
+// clamping each field — means tuner mutations around the boundary stay
+// unbiased: a mutation that lands on zero branch units is rejected and
+// re-drawn instead of silently pinned to one.
+func randomDraw(r *rand.Rand, seed int64) *Desc {
+	return &Desc{
 		Name: fmt.Sprintf("rand%d", seed),
 		NumUnits: [NumUnitTypes]int{
-			Fixed:  1 + r.Intn(4),
-			Float:  1 + r.Intn(3),
-			Branch: 1 + r.Intn(2),
+			Fixed:  r.Intn(5),
+			Float:  r.Intn(4),
+			Branch: r.Intn(3),
 		},
 		MulTime:             1 + r.Intn(8),
 		DivTime:             1 + r.Intn(24),
@@ -191,7 +211,6 @@ func Random(seed int64) *Desc {
 		FloatDelay:          r.Intn(4),
 		FloatCmpBranchDelay: r.Intn(9),
 	}
-	return mustValidate(d)
 }
 
 // Unit returns the functional unit type that executes op.

@@ -2,6 +2,7 @@ package machine
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"gsched/internal/ir"
@@ -204,5 +205,42 @@ func TestRandomMachines(t *testing.T) {
 	}
 	if len(shapes) < 32 {
 		t.Errorf("only %d distinct machines over 64 seeds", len(shapes))
+	}
+}
+
+// TestRandomRedrawsUnissuableMixes pins the Validate-gated re-draw:
+// seed 2's first draw from the widened descriptor space has zero branch
+// units — no branch or return could ever issue — so Random must reject
+// it and keep drawing until a realisable mix appears, deterministically.
+func TestRandomRedrawsUnissuableMixes(t *testing.T) {
+	const badSeed = 2
+	r := rand.New(rand.NewSource(badSeed))
+	first := randomDraw(r, badSeed)
+	if err := first.Validate(); err == nil {
+		t.Fatalf("seed %d: first draw %v is valid; the regression seed no longer pins the re-draw path", badSeed, first.NumUnits)
+	}
+	d := Random(badSeed)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("seed %d: Random returned an invalid machine: %v", badSeed, err)
+	}
+	if *d == *first {
+		t.Fatalf("seed %d: Random returned the rejected draw", badSeed)
+	}
+	if d2 := Random(badSeed); *d != *d2 {
+		t.Fatalf("seed %d: re-draw not deterministic: %+v vs %+v", badSeed, d, d2)
+	}
+	// The whole widened space stays reachable: some seed's accepted
+	// machine still sits at a unit-count boundary (exactly one unit of
+	// some type), so rejection does not over-prune.
+	boundary := false
+	for seed := int64(0); seed < 64 && !boundary; seed++ {
+		for _, n := range Random(seed).NumUnits {
+			if n == 1 {
+				boundary = true
+			}
+		}
+	}
+	if !boundary {
+		t.Error("no accepted machine in [0,64) touches a 1-unit boundary; the re-draw looks like it clamps")
 	}
 }

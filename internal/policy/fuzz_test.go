@@ -1,0 +1,81 @@
+package policy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzPolicy drives the language's safety contract from arbitrary
+// source text: parsing either fails cleanly or yields a policy whose
+// canonical form is a fixpoint (reparsing it gives the same canonical
+// bytes and content hash), and whose compiled closures evaluate — on
+// adversarial and random feature vectors — without panicking and
+// deterministically to the bit. Run with
+//
+//	go test -fuzz=FuzzPolicy ./internal/policy
+func FuzzPolicy(f *testing.F) {
+	for _, src := range []string{
+		DefaultSource,
+		"x.d - y.d",
+		"priority = x.cp - y.cp\ngate = prob >= 0.5",
+		"gate = !is_load || d >= 2",
+		"tiers(y.class - x.class, x.d - y.d, y.pos - x.pos)",
+		"select(x.spec && abs(x.prob - y.prob) > 0.25, x.prob - y.prob, 0)",
+		"min(x.d, y.d) * max(x.cp, 1)",
+		"x.height + y.taken_prob",
+		"-x.slack / (y.fanout + 0.5)",
+		"sign(x.exec - y.exec); gate = fanin >= 1",
+		"((x.d))",
+		"0x1f + 2.5e-3",
+		"x.d % y.d",  // rejected: operator
+		"priority =", // rejected: syntax
+	} {
+		f.Add(src)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return // rejected input; the only requirement is no panic
+		}
+		canon := p.Canonical()
+		p2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\ninput: %q\ncanonical: %q", err, src, canon)
+		}
+		if p2.Canonical() != canon {
+			t.Fatalf("canonical not a fixpoint:\ninput: %q\nfirst:  %q\nsecond: %q", src, canon, p2.Canonical())
+		}
+		if p2.Hash() != p.Hash() {
+			t.Fatalf("hash changed across canonicalisation: %s vs %s", p.Hash(), p2.Hash())
+		}
+
+		nan, inf := math.NaN(), math.Inf(1)
+		vecs := []Features{{}, {nan, nan, nan, nan, nan}, {inf, -inf, inf, -inf}}
+		rng := rand.New(rand.NewSource(int64(len(src))))
+		for i := 0; i < 4; i++ {
+			var v Features
+			for j := range v {
+				v[j] = math.Trunc(rng.Float64()*200 - 100)
+			}
+			vecs = append(vecs, v)
+		}
+		for i := range vecs {
+			for j := range vecs {
+				x, y := &vecs[i], &vecs[j]
+				if p.HasPriority() {
+					a, b := p.Priority(x, y), p.Priority(x, y)
+					if math.Float64bits(a) != math.Float64bits(b) {
+						t.Fatalf("priority not deterministic on %q", src)
+					}
+					p.Compare(x, y, i, j)
+				}
+				if p.HasGate() {
+					if p.Gate(x) != p.Gate(x) {
+						t.Fatalf("gate not deterministic on %q", src)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,96 @@
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// pairTerms are the difference terms the random generator mixes into a
+// priority tier. Each is oriented so a positive weight means "prefer
+// bigger" (or "prefer x's trait") — any orientation is legal, these just
+// keep generated policies within shouting distance of sensible.
+var pairTerms = []string{
+	"(x.d - y.d)",
+	"(x.cp - y.cp)",
+	"(y.slack - x.slack)",
+	"(x.fanout - y.fanout)",
+	"(y.fanin - x.fanin)",
+	"(x.prob - y.prob)",
+	"(y.exec - x.exec)",
+	"(y.specdeg - x.specdeg)",
+}
+
+// gateTerms are self-contained gate expressions the generator picks
+// from. Gates only drop speculative/duplication candidates, which is
+// always legal, so any of these (however aggressive) yields a valid
+// policy.
+var gateTerms = []string{
+	"prob >= %s",
+	"d >= %s",
+	"!is_load || d >= %s",
+	"fanout >= %s",
+	"slack <= %s + cp",
+	"!is_float || prob >= %s",
+}
+
+// quarter renders k/4 in canonical float notation.
+func quarter(k int) string {
+	return strconv.FormatFloat(float64(k)/4, 'g', -1, 64)
+}
+
+// NumWeights is the length of the weight vector Weighted consumes: one
+// weight per pair term, in pairTerms order.
+func NumWeights() int { return len(pairTerms) }
+
+// Weighted builds the policy whose priority is the §5.2 class tier,
+// then the weighted mix Σ w[i]·term[i] over the pair terms, then
+// program order. Zero weights drop their term; an all-zero vector
+// degenerates to class + program order. This is the auto-tuner's
+// search space: every weight vector is a valid policy, and nearby
+// vectors are nearby heuristics.
+func Weighted(w []float64) (*Policy, error) {
+	if len(w) != len(pairTerms) {
+		return nil, fmt.Errorf("policy: weight vector has %d entries, want %d", len(w), len(pairTerms))
+	}
+	var mix []string
+	for i, t := range pairTerms {
+		if w[i] == 0 {
+			continue
+		}
+		mix = append(mix, fmt.Sprintf("%s*%s", strconv.FormatFloat(w[i], 'g', -1, 64), t))
+	}
+	src := "priority = tiers(y.class - x.class, y.pos - x.pos)"
+	if len(mix) > 0 {
+		src = fmt.Sprintf("priority = tiers(y.class - x.class, %s, y.pos - x.pos)", strings.Join(mix, " + "))
+	}
+	return Parse(src)
+}
+
+// Random returns a deterministic, always-valid policy derived from the
+// seed: the §5.2 class tier stays first and program order stays last, a
+// randomly weighted mix of feature differences sits in between, and
+// about a third of the seeds add a speculation gate. Two different
+// seeds usually produce semantically different policies, so difftest
+// lattices built from consecutive seeds sweep distinct heuristics.
+func Random(seed int64) *Policy {
+	r := rand.New(rand.NewSource(seed))
+	var mix []string
+	for _, t := range pairTerms {
+		if r.Intn(3) == 0 {
+			continue // drop the term for this seed
+		}
+		w := 1 + r.Intn(16) // weights in {0.25 .. 4} by quarters
+		mix = append(mix, fmt.Sprintf("%s*%s", quarter(w), t))
+	}
+	if len(mix) == 0 {
+		mix = append(mix, fmt.Sprintf("%s*%s", quarter(1+r.Intn(16)), pairTerms[r.Intn(len(pairTerms))]))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "priority = tiers(y.class - x.class, %s, y.pos - x.pos)", strings.Join(mix, " + "))
+	if r.Intn(3) == 0 {
+		fmt.Fprintf(&b, "\ngate = "+gateTerms[r.Intn(len(gateTerms))], quarter(r.Intn(8)))
+	}
+	return MustParse(b.String())
+}

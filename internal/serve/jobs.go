@@ -8,16 +8,17 @@ import (
 	"time"
 )
 
-// The async exact-tier job layer. level=optimal schedules are too slow
-// for the synchronous request path, so POST /schedule answers with the
-// heuristic schedule immediately and enqueues the exact run as a job on
-// its own bounded queue with its own workers — the synchronous pool
-// stays isolated from branch-and-bound search time. Jobs are identified
-// by the request's content-addressed Key, which buys deduplication
+// The async job layer, shared by the exact tier (level=optimal) and
+// the auto-tuner (/tune). Both kinds of work are too slow for the
+// synchronous request path, so the server answers immediately and
+// enqueues the run as a job on its own bounded queue with its own
+// workers — the synchronous pool stays isolated from search time. Jobs
+// are identified by a content-addressed Key, which buys deduplication
 // (resubmitting an identical request joins the existing job) and a
 // forever-cache (a finished job's bytes are kept for every future
-// poll): exact results are expensive and deterministic in the key, so
-// they are never evicted.
+// poll): these results are expensive and deterministic in the key, so
+// they are never evicted. Each manager instance owns one job kind; the
+// spec it carries is opaque to the queue machinery.
 
 // Job states, as reported by the API.
 const (
@@ -64,7 +65,8 @@ type ExactStats struct {
 
 // exactJob is one job's record; guarded by the manager's mutex.
 type exactJob struct {
-	spec   *job
+	key    Key
+	spec   any // the manager's run callback knows the concrete type
 	state  string
 	body   []byte // jobDone: the response bytes, kept forever
 	errMsg string // jobFailed
@@ -82,7 +84,7 @@ type jobManager struct {
 	stop    chan struct{}
 	wg      sync.WaitGroup
 	timeout time.Duration
-	run     func(ctx context.Context, spec *job) ([]byte, error)
+	run     func(ctx context.Context, spec any) ([]byte, error)
 
 	// lookup consults the store stack without request-path accounting;
 	// persist stores a finished result everywhere. Either may be nil
@@ -97,7 +99,7 @@ type jobManager struct {
 }
 
 func newJobManager(workers, depth int, timeout time.Duration,
-	run func(ctx context.Context, spec *job) ([]byte, error)) *jobManager {
+	run func(ctx context.Context, spec any) ([]byte, error)) *jobManager {
 
 	m := &jobManager{
 		queue:   make(chan *exactJob, depth),
@@ -113,7 +115,7 @@ func newJobManager(workers, depth int, timeout time.Duration,
 	return m
 }
 
-// submit enqueues spec's exact job, or joins an existing one. It
+// submit enqueues spec's job under key, or joins an existing one. It
 // returns the job's current state and whether the submission was
 // admitted; !ok means the queue is full (or the manager closed) and the
 // client should retry later. A previously failed job is retried by
@@ -121,14 +123,14 @@ func newJobManager(workers, depth int, timeout time.Duration,
 // proven result already sits in the store stack (an earlier process,
 // another node) is recorded done immediately — warm keys run zero
 // searches.
-func (m *jobManager) submit(spec *job) (state string, ok bool) {
+func (m *jobManager) submit(key Key, spec any) (state string, ok bool) {
 	m.mu.Lock()
 	if m.closed {
 		m.stats.Rejected++
 		m.mu.Unlock()
 		return "", false
 	}
-	if ej := m.jobs[spec.key]; ej != nil && ej.state != jobFailed {
+	if ej := m.jobs[key]; ej != nil && ej.state != jobFailed {
 		m.stats.Deduped++
 		state := ej.state
 		m.mu.Unlock()
@@ -140,7 +142,7 @@ func (m *jobManager) submit(spec *job) (state string, ok bool) {
 	// a peer, and the manager must keep serving polls meanwhile.
 	var warmBody []byte
 	if m.lookup != nil {
-		warmBody, _ = m.lookup(spec.key)
+		warmBody, _ = m.lookup(key)
 	}
 
 	m.mu.Lock()
@@ -150,21 +152,21 @@ func (m *jobManager) submit(spec *job) (state string, ok bool) {
 		return "", false
 	}
 	// Re-check: a racing submission may have installed the job.
-	ej := m.jobs[spec.key]
+	ej := m.jobs[key]
 	if ej != nil && ej.state != jobFailed {
 		m.stats.Deduped++
 		return ej.state, true
 	}
 	if ej == nil && warmBody != nil {
-		ej = &exactJob{spec: spec, state: jobDone, body: warmBody}
-		m.jobs[spec.key] = ej
+		ej = &exactJob{key: key, spec: spec, state: jobDone, body: warmBody}
+		m.jobs[key] = ej
 		m.stats.Submitted++
 		m.stats.Completed++
 		m.stats.Warm++
 		return jobDone, true
 	}
 	if ej == nil {
-		ej = &exactJob{spec: spec}
+		ej = &exactJob{key: key, spec: spec}
 	}
 	select {
 	case m.queue <- ej:
@@ -174,7 +176,7 @@ func (m *jobManager) submit(spec *job) (state string, ok bool) {
 	}
 	ej.state = jobQueued
 	ej.body, ej.errMsg = nil, ""
-	m.jobs[spec.key] = ej
+	m.jobs[key] = ej
 	m.stats.Submitted++
 	m.stats.Queued++
 	return jobQueued, true
@@ -239,7 +241,7 @@ func (m *jobManager) worker() {
 				// RAM, disk (restart-proof), the owning peer. Proven
 				// optima are the most expensive bytes we make — they
 				// are never searched for twice.
-				m.persist(ej.spec.key, body)
+				m.persist(ej.key, body)
 			}
 			m.mu.Lock()
 			if err != nil {

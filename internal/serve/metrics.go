@@ -61,9 +61,11 @@ type Metrics struct {
 	replications func() int64
 	computes     func() int64
 
-	// exact samples the async exact-tier job counters; nil for servers
-	// without a job manager.
+	// exact and tune sample the async job-manager counters (exact tier
+	// and tuning tier respectively); nil for servers without the
+	// corresponding manager.
 	exact func() ExactStats
+	tune  func() ExactStats
 }
 
 // NewMetrics returns an empty registry. cache and trace may be nil;
@@ -219,24 +221,28 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		fmt.Fprintf(cw, "gschedd_singleflight_waits_total %d\n", m.sfWaits())
 	}
 
+	// The exact and tune tiers share a job manager, so they share a
+	// metric shape: gschedd_<prefix>_* with identical series suffixes.
+	writeJobStats := func(prefix, noun, verb string, es ExactStats) {
+		series := func(suffix, typ, help string, v int64) {
+			name := "gschedd_" + prefix + suffix
+			fmt.Fprintf(cw, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+			fmt.Fprintf(cw, "%s %d\n", name, v)
+		}
+		series("_jobs_submitted_total", "counter", noun+" jobs accepted onto the queue (including retries).", es.Submitted)
+		series("_jobs_deduped_total", "counter", noun+" submissions that joined an existing job.", es.Deduped)
+		series("_jobs_rejected_total", "counter", noun+" submissions refused (queue full).", es.Rejected)
+		series("_jobs_completed_total", "counter", noun+" jobs finished with a result.", es.Completed)
+		series("_jobs_failed_total", "counter", noun+" jobs finished with an error (deadline, verifier, panic).", es.Failed)
+		series("_queue_depth", "gauge", noun+" jobs waiting for a worker.", es.Queued)
+		series("_running", "gauge", noun+" jobs currently "+verb+".", es.Running)
+		series("_jobs_warm_total", "counter", noun+" jobs answered from the store stack without running a search.", es.Warm)
+	}
 	if m.exact != nil {
-		es := m.exact()
-		fmt.Fprintf(cw, "# HELP gschedd_exact_jobs_submitted_total Exact jobs accepted onto the queue (including retries).\n# TYPE gschedd_exact_jobs_submitted_total counter\n")
-		fmt.Fprintf(cw, "gschedd_exact_jobs_submitted_total %d\n", es.Submitted)
-		fmt.Fprintf(cw, "# HELP gschedd_exact_jobs_deduped_total Exact submissions that joined an existing job.\n# TYPE gschedd_exact_jobs_deduped_total counter\n")
-		fmt.Fprintf(cw, "gschedd_exact_jobs_deduped_total %d\n", es.Deduped)
-		fmt.Fprintf(cw, "# HELP gschedd_exact_jobs_rejected_total Exact submissions refused (queue full).\n# TYPE gschedd_exact_jobs_rejected_total counter\n")
-		fmt.Fprintf(cw, "gschedd_exact_jobs_rejected_total %d\n", es.Rejected)
-		fmt.Fprintf(cw, "# HELP gschedd_exact_jobs_completed_total Exact jobs finished with a result.\n# TYPE gschedd_exact_jobs_completed_total counter\n")
-		fmt.Fprintf(cw, "gschedd_exact_jobs_completed_total %d\n", es.Completed)
-		fmt.Fprintf(cw, "# HELP gschedd_exact_jobs_failed_total Exact jobs finished with an error (deadline, verifier, panic).\n# TYPE gschedd_exact_jobs_failed_total counter\n")
-		fmt.Fprintf(cw, "gschedd_exact_jobs_failed_total %d\n", es.Failed)
-		fmt.Fprintf(cw, "# HELP gschedd_exact_queue_depth Exact jobs waiting for a worker.\n# TYPE gschedd_exact_queue_depth gauge\n")
-		fmt.Fprintf(cw, "gschedd_exact_queue_depth %d\n", es.Queued)
-		fmt.Fprintf(cw, "# HELP gschedd_exact_running Exact jobs currently scheduling.\n# TYPE gschedd_exact_running gauge\n")
-		fmt.Fprintf(cw, "gschedd_exact_running %d\n", es.Running)
-		fmt.Fprintf(cw, "# HELP gschedd_exact_jobs_warm_total Exact jobs answered from the store stack without running a search.\n# TYPE gschedd_exact_jobs_warm_total counter\n")
-		fmt.Fprintf(cw, "gschedd_exact_jobs_warm_total %d\n", es.Warm)
+		writeJobStats("exact", "Exact", "scheduling", m.exact())
+	}
+	if m.tune != nil {
+		writeJobStats("tune", "Tune", "searching", m.tune())
 	}
 
 	if m.trace != nil {

@@ -6,6 +6,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"slices"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -15,7 +17,10 @@ import (
 	"gsched/internal/ir"
 	"gsched/internal/machine"
 	"gsched/internal/minic"
+	"gsched/internal/policy"
 	"gsched/internal/profile"
+	"gsched/internal/tune"
+	"gsched/internal/workload"
 	"gsched/internal/xform"
 )
 
@@ -41,6 +46,13 @@ type Request struct {
 	// drives superblock formation at level=dup, so its canonical form is
 	// part of the content-addressed cache key.
 	Profile string `json:"profile,omitempty"`
+	// Policy is a scheduling-policy program (internal/policy source)
+	// replacing the built-in §5.2 priority order and, when it carries a
+	// gate clause, filtering speculative candidates. The policy's
+	// canonical form is part of the content-addressed cache key, so
+	// equivalent spellings share a cache entry and different policies
+	// never collide.
+	Policy string `json:"policy,omitempty"`
 	// Pipeline selects the full §6 unroll/rotate pipeline (default
 	// true); false runs plain renaming + global scheduling + post-pass.
 	Pipeline *bool `json:"pipeline,omitempty"`
@@ -220,24 +232,9 @@ func resolve(req *Request, allowPanic bool) (*job, error) {
 		return nil, err
 	}
 
-	level := req.Level
-	if level == "" {
-		level = "speculative"
-	}
-	var lv core.Level
-	switch level {
-	case "none":
-		lv = core.LevelNone
-	case "useful":
-		lv = core.LevelUseful
-	case "speculative":
-		lv = core.LevelSpeculative
-	case "dup":
-		lv = core.LevelDup
-	case "optimal":
-		lv = core.LevelOptimal
-	default:
-		return nil, badf("unknown level %q (want none, useful, speculative, dup or optimal)", level)
+	lv, err := parseLevelName(req.Level)
+	if err != nil {
+		return nil, err
 	}
 
 	j.opts = core.Defaults(j.mach, lv)
@@ -254,6 +251,13 @@ func resolve(req *Request, allowPanic bool) (*job, error) {
 			// with what the scheduler actually sees.
 			j.opts.Profile = prof
 		}
+	}
+	if req.Policy != "" {
+		pol, err := policy.Parse(req.Policy)
+		if err != nil {
+			return nil, badf("%v", err)
+		}
+		j.opts.Policy = pol
 	}
 	if p := req.Options; p != nil {
 		setIf(&j.opts.Rename, p.Rename)
@@ -283,6 +287,26 @@ func resolve(req *Request, allowPanic bool) (*job, error) {
 	j.canon = buf.Bytes()
 	j.key = contentKey(j)
 	return j, nil
+}
+
+// parseLevelName maps the wire-format level name (empty = speculative)
+// onto core.Level.
+func parseLevelName(level string) (core.Level, error) {
+	switch level {
+	case "":
+		return core.LevelSpeculative, nil
+	case "none":
+		return core.LevelNone, nil
+	case "useful":
+		return core.LevelUseful, nil
+	case "speculative":
+		return core.LevelSpeculative, nil
+	case "dup":
+		return core.LevelDup, nil
+	case "optimal":
+		return core.LevelOptimal, nil
+	}
+	return 0, badf("unknown level %q (want none, useful, speculative, dup or optimal)", level)
 }
 
 func setIf[T any](dst *T, src *T) {
@@ -335,9 +359,10 @@ func machineByName(name string) (*machine.Desc, error) {
 
 // contentKey hashes everything that can change the response body:
 // the canonical program, the canonical machine, the semantic scheduling
-// options, and the canonical edge profile (which gates speculation and
+// options, the canonical edge profile (which gates speculation and
 // drives superblock formation, so two requests differing only in
-// profile must not share a cache entry). The machine and options stream
+// profile must not share a cache entry), and the canonical scheduling
+// policy (which reorders the ready list, so likewise). The machine and options stream
 // straight into the digest (CanonicalTo / canonOptionsTo); the
 // program's canonical text was rendered once at resolve time because
 // the panic reproducer needs it too. Parallelism is deliberately
@@ -353,6 +378,10 @@ func contentKey(j *job) Key {
 	if j.opts.Profile != nil && j.opts.Profile.Len() > 0 {
 		h.Write([]byte("\x00profile=\n"))
 		h.Write(j.opts.Profile.AppendCanonical(nil))
+	}
+	if j.opts.Policy != nil {
+		h.Write([]byte("\x00policy=\n"))
+		io.WriteString(h, j.opts.Policy.Canonical())
 	}
 	if j.simulate != nil {
 		fmt.Fprintf(h, "\x00sim=%s%v", j.simulate.Entry, j.simulate.Args)
@@ -380,4 +409,109 @@ func canonOptions(o *core.Options, pipeline bool) string {
 	var sb strings.Builder
 	canonOptionsTo(&sb, o, pipeline)
 	return sb.String()
+}
+
+// TuneRequest is the JSON body of POST /tune: an auto-tuning run over
+// policy weight space and/or machine descriptor space, scored on the
+// named workload proxies. Tuning is deterministic in these fields, so
+// the request is content-addressed exactly like /schedule: identical
+// requests share one async job and one forever-cached result.
+type TuneRequest struct {
+	// Seed anchors the search (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Iters is the number of candidate evaluations (default 24, max 256
+	// — each candidate compiles and simulates every workload).
+	Iters int `json:"iters,omitempty"`
+	// Mode is "policy" (default), "machine" or "both".
+	Mode string `json:"mode,omitempty"`
+	// Machine is the baseline descriptor, as in a /schedule request:
+	// preset name or full object (default rs6k).
+	Machine json.RawMessage `json:"machine,omitempty"`
+	// Level is "useful", "speculative" (default) or "dup".
+	Level string `json:"level,omitempty"`
+	// Workloads names the scoring set (internal/workload proxies: li,
+	// eqntott, espresso, gcc). Empty means all four. Order and
+	// duplicates are normalised away.
+	Workloads []string `json:"workloads,omitempty"`
+}
+
+// TuneResponse is the 202 body of POST /tune; poll Job.Poll for the
+// tune.Result JSON.
+type TuneResponse struct {
+	Job JobInfo `json:"job"`
+}
+
+// tuneSpec is a resolved TuneRequest: a runnable tuner config plus its
+// content address.
+type tuneSpec struct {
+	cfg tune.Config
+	key Key
+}
+
+// maxTuneIters bounds the per-request search budget; anything larger is
+// a client error, not a queued month of simulation.
+const maxTuneIters = 256
+
+// resolveTune validates a TuneRequest into a tuneSpec, applying the
+// documented defaults before hashing so a spelled-out default and an
+// empty field share a cache entry.
+func resolveTune(req *TuneRequest) (*tuneSpec, error) {
+	cfg := tune.Config{Seed: req.Seed, Iters: req.Iters, Mode: req.Mode}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Iters == 0 {
+		cfg.Iters = 24
+	}
+	if cfg.Iters < 0 || cfg.Iters > maxTuneIters {
+		return nil, badf("iters %d out of range [1, %d]", cfg.Iters, maxTuneIters)
+	}
+	if cfg.Mode == "" {
+		cfg.Mode = tune.ModePolicy
+	}
+	switch cfg.Mode {
+	case tune.ModePolicy, tune.ModeMachine, tune.ModeBoth:
+	default:
+		return nil, badf("unknown mode %q (want policy, machine or both)", cfg.Mode)
+	}
+	var err error
+	if cfg.Machine, err = resolveMachine(req.Machine); err != nil {
+		return nil, err
+	}
+	if cfg.Level, err = parseLevelName(req.Level); err != nil {
+		return nil, err
+	}
+	switch cfg.Level {
+	case core.LevelUseful, core.LevelSpeculative, core.LevelDup:
+	default:
+		return nil, badf("level %q cannot be tuned (want useful, speculative or dup)", req.Level)
+	}
+	names := req.Workloads
+	if len(names) == 0 {
+		for _, w := range workload.All() {
+			names = append(names, w.Name)
+		}
+	}
+	names = append([]string(nil), names...)
+	sort.Strings(names)
+	names = slices.Compact(names)
+	for _, n := range names {
+		w := workload.ByName(n)
+		if w == nil {
+			return nil, badf("unknown workload %q", n)
+		}
+		cfg.Workloads = append(cfg.Workloads, w)
+	}
+
+	h := sha256.New()
+	fmt.Fprintf(h, "tune\x00seed=%d iters=%d mode=%s level=%s\x00", cfg.Seed, cfg.Iters, cfg.Mode, cfg.Level)
+	cfg.Machine.CanonicalTo(h)
+	h.Write([]byte{0})
+	for _, n := range names {
+		io.WriteString(h, n)
+		h.Write([]byte{0})
+	}
+	spec := &tuneSpec{cfg: cfg}
+	h.Sum(spec.key[:0])
+	return spec, nil
 }

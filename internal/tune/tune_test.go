@@ -1,0 +1,120 @@
+package tune
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"gsched/internal/machine"
+	"gsched/internal/policy"
+	"gsched/internal/workload"
+)
+
+// tiny returns a small branchy workload so tuner tests pay pipeline
+// costs measured in milliseconds, not the full four-proxy sweep.
+func tiny() *workload.Workload {
+	return &workload.Workload{
+		Name:  "tiny",
+		Entry: "main",
+		Args:  []int64{48},
+		Source: `
+int a[64];
+int main(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        int x = a[i] * 3 + i;
+        if (x > 50) { s = s + x; } else { s = s - i; }
+        a[i] = s;
+    }
+    return s;
+}
+`,
+	}
+}
+
+func run(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{Seed: 5, Iters: 6, Mode: ModeBoth, Workloads: []*workload.Workload{tiny()}}
+	a, _ := json.Marshal(run(t, cfg))
+	b, _ := json.Marshal(run(t, cfg))
+	if string(a) != string(b) {
+		t.Errorf("equal configs gave different results:\n%s\n%s", a, b)
+	}
+}
+
+func TestRunPolicyMode(t *testing.T) {
+	res := run(t, Config{Seed: 3, Iters: 8, Mode: ModePolicy, Workloads: []*workload.Workload{tiny()}})
+	if res.Evaluated != 8 {
+		t.Errorf("Evaluated = %d, want 8", res.Evaluated)
+	}
+	if res.BestCycles > res.BaselineCycles {
+		t.Errorf("best %d worse than baseline %d: search must only adopt improvements",
+			res.BestCycles, res.BaselineCycles)
+	}
+	if res.Machine.Name != "rs6k" {
+		t.Errorf("policy mode moved the machine: %s", res.Machine.Name)
+	}
+	if res.Policy != "" {
+		if _, err := policy.Parse(res.Policy); err != nil {
+			t.Errorf("winning policy does not parse: %v", err)
+		}
+	}
+	if len(res.Workloads) != 1 || res.Workloads[0].Workload != "tiny" {
+		t.Errorf("per-workload scores = %+v", res.Workloads)
+	}
+}
+
+func TestRunMachineMode(t *testing.T) {
+	res := run(t, Config{Seed: 9, Iters: 8, Mode: ModeMachine, Workloads: []*workload.Workload{tiny()}})
+	if res.Policy != "" {
+		t.Errorf("machine mode produced a policy: %q", res.Policy)
+	}
+	if err := res.Machine.Validate(); err != nil {
+		t.Errorf("winning machine invalid: %v", err)
+	}
+	if res.BestCycles > res.BaselineCycles {
+		t.Errorf("best %d worse than baseline %d", res.BestCycles, res.BaselineCycles)
+	}
+}
+
+func TestBadMode(t *testing.T) {
+	if _, err := Run(context.Background(), Config{Mode: "banana"}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, Config{Workloads: []*workload.Workload{tiny()}}); err == nil {
+		t.Error("cancelled run returned no error")
+	}
+}
+
+func TestWeightedPolicySpace(t *testing.T) {
+	w := make([]float64, policy.NumWeights())
+	if _, err := policy.Weighted(w); err != nil {
+		t.Errorf("all-zero weights rejected: %v", err)
+	}
+	if _, err := policy.Weighted(w[:1]); err == nil {
+		t.Error("short weight vector accepted")
+	}
+	// The mutated machine stays inside the validated space.
+	r := machine.RS6K()
+	for seed := int64(0); seed < 8; seed++ {
+		cfg := Config{Seed: seed + 100, Iters: 2, Mode: ModeMachine,
+			Machine: r, Workloads: []*workload.Workload{tiny()}}
+		res := run(t, cfg)
+		if err := res.Machine.Validate(); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}

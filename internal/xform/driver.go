@@ -151,7 +151,7 @@ func RunCtx(ctx context.Context, f *ir.Func, opts core.Options, cfgX Config) (St
 		mach := opts.Machine
 		done := opts.Trace.TimePhase(core.PhaseLocal)
 		for _, b := range f.Blocks {
-			core.ScheduleBlockLocal(b, mach)
+			core.ScheduleBlockLocalPolicy(b, mach, opts.Policy)
 			st.LocalBlocks++
 		}
 		done()

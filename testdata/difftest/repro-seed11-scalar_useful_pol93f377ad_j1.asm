@@ -1,0 +1,31 @@
+; difftest reproducer (seed 11)
+; cell: scalar/useful+pol93f377ad/j1
+; machine: scalar(fixed=1 float=1 branch=1 load+0 cmp->br+0)
+; policy: priority = tiers((y.class - x.class), (((((((4 * (x.d - y.d)) + (3 * (x.cp - y.cp))) + (1.75 * (y.slack - x.slack))) + (3.25 * (x.fanout - y.fanout))) + (1.25 * (y.fanin - x.fanin))) + (4 * (x.prob - y.prob))) + (2.25 * (y.specdeg - x.specdeg))), (y.pos - x.pos))
+; oracle: verify
+;   verify: 1 violation(s)
+;     main: [dependence] id 2 "L r78=g0(r77,0)": flow dependence (r78) on "A r79=r76,r78" reordered within block 16
+data g0 5 = 16 5
+func main r0 r1:
+entry:
+.while1:
+.while3:
+.wend4:
+.wend2:
+.for5:
+	BF .fend7,cr2,lt
+.for8:
+.endif12:
+.fpost9:
+.fend10:
+.for13:
+.fpost14:
+.fend15:
+.or18:
+.endif17:
+.fpost6:
+	B .for5
+.fend7:
+	L r78=g0(r77,0)
+	A r79=r76,r78
+	RET r79
