@@ -23,15 +23,20 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"gsched/internal/asm"
 	"gsched/internal/core"
 	"gsched/internal/eval"
 	"gsched/internal/machine"
 	"gsched/internal/progen"
 	"gsched/internal/serve"
+	"gsched/internal/stream"
 	"gsched/internal/tune"
 	"gsched/internal/workload"
 	"gsched/internal/xform"
@@ -54,6 +59,25 @@ type Result struct {
 	TargetHitRatio float64 `json:"target_hit_ratio,omitempty"`
 	HitRatio       float64 `json:"hit_ratio,omitempty"`
 	ReqPerSPerCore float64 `json:"req_per_s_per_core,omitempty"`
+}
+
+// ScalePoint is one size of the big-program scaling sweep: the full
+// streaming pipeline (parse → schedule → print) run once over a
+// progen.Huge program of roughly TargetInstrs instructions. The
+// per-instruction ratios are the headline numbers — sub-linear growth
+// in ns/instr and allocs/instr across the sweep means the tool chain
+// scales to big programs; a jump flags a superlinear hot spot.
+type ScalePoint struct {
+	TargetInstrs   int     `json:"target_instrs"`
+	Funcs          int     `json:"funcs"`
+	Instrs         int     `json:"instrs"`
+	SourceBytes    int     `json:"source_bytes"`
+	Jobs           int     `json:"jobs"`
+	WallNs         int64   `json:"wall_ns"`
+	NsPerInstr     float64 `json:"ns_per_instr"`
+	AllocsPerInstr float64 `json:"allocs_per_instr"`
+	BytesPerInstr  float64 `json:"bytes_per_instr"`
+	PeakHeapBytes  uint64  `json:"peak_heap_bytes"`
 }
 
 // Report is the top-level JSON document. NumCPU is the machine's CPU
@@ -80,6 +104,13 @@ type Report struct {
 	// so these diff like the curve: a change is a real search-space or
 	// scheduler change.
 	Tuned []*tune.Result `json:"tuned,omitempty"`
+
+	// Scaling is the big-program scaling curve: one streaming-pipeline
+	// run per program size (1×/10×/100× and beyond). Unlike the
+	// benchmarks above these are single runs of multi-second workloads,
+	// so ns figures carry a few percent of noise; the shape of the
+	// curve, not the last digit, is the signal.
+	Scaling []ScalePoint `json:"scaling,omitempty"`
 }
 
 func main() {
@@ -90,11 +121,43 @@ func main() {
 	curve := flag.Bool("curve", true, "include the speedup-vs-speculation-depth curve")
 	tuneRuns := flag.Bool("tune", true, "include per-workload auto-tuner runs (policy + machine search)")
 	tuneIters := flag.Int("tune-iters", 32, "candidate evaluations per auto-tuner run")
+	scaleSweep := flag.Bool("scale", true, "include the big-program scaling sweep")
+	scaleSizes := flag.String("scale-sizes", "1000,10000,100000", "comma-separated target instruction counts for -scale")
+	scaleJobs := flag.Int("scale-jobs", 0, "worker count for the scaling sweep (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	testing.Init()
 	flag.Parse()
 	if err := flag.Lookup("test.benchtime").Value.Set(*benchtime); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+			}
+		}()
 	}
 
 	report := Report{
@@ -183,6 +246,36 @@ func main() {
 		}
 	}
 
+	if *scaleSweep {
+		sizes, err := parseSizes(*scaleSizes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		jobs := *scaleJobs
+		if jobs <= 0 {
+			jobs = runtime.GOMAXPROCS(0)
+		}
+		// Warm up code paths and the heap once so the first measured
+		// point does not pay JIT-less Go's one-time costs (first GC
+		// growth, lazily built tables).
+		if _, err := runScalePoint(1000, jobs); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		for _, target := range sizes {
+			fmt.Fprintf(os.Stderr, "scaling %d instrs...\n", target)
+			pt, err := runScalePoint(target, jobs)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				os.Exit(1)
+			}
+			report.Scaling = append(report.Scaling, pt)
+			fmt.Fprintf(os.Stderr, "  %d funcs, %d instrs: %.0f ns/instr, %.2f allocs/instr, peak heap %.1f MiB\n",
+				pt.Funcs, pt.Instrs, pt.NsPerInstr, pt.AllocsPerInstr, float64(pt.PeakHeapBytes)/(1<<20))
+		}
+	}
+
 	enc, err := json.MarshalIndent(&report, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
@@ -197,6 +290,86 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	var sizes []int
+	for _, tok := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad -scale-sizes entry %q", tok)
+		}
+		sizes = append(sizes, v)
+	}
+	return sizes, nil
+}
+
+// runScalePoint generates a progen.Huge program of about target
+// instructions and runs it once through the streaming pipeline (parse,
+// rename, schedule at the speculative level with the §6 transforms,
+// print to a discarded writer), measuring wall time, allocations, and
+// peak heap. Generation happens outside the measured window; a
+// background sampler polls HeapAlloc so the peak covers mid-run state,
+// not just the final heap.
+func runScalePoint(target, jobs int) (ScalePoint, error) {
+	hp := progen.Huge(11, target)
+	cfg := stream.Config{
+		Opts:     core.Defaults(machine.RS6K(), core.LevelSpeculative),
+		Pipeline: xform.DefaultConfig(), UsePipeline: true,
+		Jobs: jobs,
+	}
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	var peak atomic.Uint64
+	stop := make(chan struct{})
+	sampled := make(chan struct{})
+	go func() {
+		defer close(sampled)
+		tick := time.NewTicker(10 * time.Millisecond)
+		defer tick.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak.Load() {
+					peak.Store(ms.HeapAlloc)
+				}
+			}
+		}
+	}()
+
+	t0 := time.Now()
+	res, err := stream.Schedule(context.Background(), asm.Native, hp.Source, cfg, io.Discard)
+	wall := time.Since(t0)
+	close(stop)
+	<-sampled
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return ScalePoint{}, fmt.Errorf("scale %d: %w", target, err)
+	}
+	if after.HeapAlloc > peak.Load() {
+		peak.Store(after.HeapAlloc)
+	}
+
+	n := float64(res.Instrs)
+	return ScalePoint{
+		TargetInstrs:   target,
+		Funcs:          res.Funcs,
+		Instrs:         res.Instrs,
+		SourceBytes:    len(hp.Source),
+		Jobs:           jobs,
+		WallNs:         wall.Nanoseconds(),
+		NsPerInstr:     float64(wall.Nanoseconds()) / n,
+		AllocsPerInstr: float64(after.Mallocs-before.Mallocs) / n,
+		BytesPerInstr:  float64(after.TotalAlloc-before.TotalAlloc) / n,
+		PeakHeapBytes:  peak.Load(),
+	}, nil
 }
 
 // benchSchedulerThroughput is BenchmarkSchedulerThroughput: compile +

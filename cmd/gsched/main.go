@@ -14,10 +14,15 @@
 package main
 
 import (
+	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -41,6 +46,8 @@ var (
 	profIn   = flag.String("profile", "", "edge profile file (gsched-profile v1) guiding speculation and, at -level dup, superblock formation")
 	profOut  = flag.String("profile-out", "", "with -run: write the run's edge profile to this file")
 	policyF  = flag.String("policy", "", "scheduling policy expression replacing the §5.2 priority order (or @file to read one); 'default' names the built-in order")
+	cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 )
 
 func main() {
@@ -50,10 +57,41 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := realMain(flag.Arg(0)); err != nil {
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gsched:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "gsched:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+	}
+	err := realMain(flag.Arg(0))
+	if *cpuProf != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		if perr := writeHeapProfile(*memProf); perr != nil && err == nil {
+			err = perr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "gsched:", err)
 		os.Exit(1)
 	}
+}
+
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }
 
 func realMain(path string) error {
@@ -72,17 +110,8 @@ func realMain(path string) error {
 			l = "asm"
 		}
 	}
-	var prog *gsched.Program
-	switch l {
-	case "c":
-		prog, err = gsched.CompileC(string(src))
-	case "asm":
-		prog, err = gsched.ParseAsm(string(src))
-	default:
+	if l != "c" && l != "asm" {
 		return fmt.Errorf("unknown language %q", l)
-	}
-	if err != nil {
-		return err
 	}
 
 	mach, err := parseMachine(*machineF)
@@ -125,6 +154,49 @@ func realMain(path string) error {
 		}
 		opts.Policy = pol
 	}
+
+	// The simulator and the CFG dump need the whole program in memory;
+	// everything else runs through the streaming pipeline, which
+	// produces identical bytes while scheduling functions as the parser
+	// yields them. Sources that define a function twice fall back to
+	// the materializing path (last-definition-wins needs the whole
+	// unit).
+	if *run == "" && *dot == "" {
+		cfg := gsched.StreamConfig{Opts: opts, Jobs: *jobs}
+		if *pipeline {
+			cfg.Pipeline, cfg.UsePipeline = gsched.DefaultPipeline(), true
+		}
+		var out io.Writer
+		var bw *bufio.Writer
+		if *printAsm {
+			bw = bufio.NewWriter(os.Stdout)
+			out = bw
+		}
+		res, err := gsched.ScheduleStream(context.Background(), l, string(src), cfg, out)
+		if err == nil {
+			if bw != nil {
+				if err := bw.Flush(); err != nil {
+					return err
+				}
+			}
+			printStats(res.Stats)
+			return nil
+		}
+		if !errors.Is(err, gsched.ErrDuplicateFunc) {
+			return err
+		}
+	}
+
+	var prog *gsched.Program
+	switch l {
+	case "c":
+		prog, err = gsched.CompileC(string(src))
+	case "asm":
+		prog, err = gsched.ParseAsm(string(src))
+	}
+	if err != nil {
+		return err
+	}
 	var st gsched.PipelineStats
 	if *pipeline {
 		st, err = gsched.SchedulePipeline(prog, opts, gsched.DefaultPipeline())
@@ -134,15 +206,7 @@ func realMain(path string) error {
 	if err != nil {
 		return err
 	}
-	if *stats {
-		fmt.Printf("regions scheduled %d, skipped %d; moves: %d useful, %d speculative, %d duplicated; webs renamed %d; loops unrolled %d, rotated %d; blocks tail-duplicated %d\n",
-			st.RegionsScheduled, st.RegionsSkipped, st.UsefulMoves, st.SpeculativeMoves, st.DuplicatedMoves,
-			st.RenamedWebs, st.LoopsUnrolled, st.LoopsRotated, st.TailDuplicated)
-		if st.ExactBlocks > 0 {
-			fmt.Printf("exact: %d blocks searched, %d improved, %d cycles saved\n",
-				st.ExactBlocks, st.ExactImproved, st.ExactCyclesSaved)
-		}
-	}
+	printStats(st)
 	if *printAsm {
 		fmt.Print(gsched.PrintAsm(prog))
 	}
@@ -192,6 +256,19 @@ func realMain(path string) error {
 		}
 	}
 	return nil
+}
+
+func printStats(st gsched.PipelineStats) {
+	if !*stats {
+		return
+	}
+	fmt.Printf("regions scheduled %d, skipped %d; moves: %d useful, %d speculative, %d duplicated; webs renamed %d; loops unrolled %d, rotated %d; blocks tail-duplicated %d\n",
+		st.RegionsScheduled, st.RegionsSkipped, st.UsefulMoves, st.SpeculativeMoves, st.DuplicatedMoves,
+		st.RenamedWebs, st.LoopsUnrolled, st.LoopsRotated, st.TailDuplicated)
+	if st.ExactBlocks > 0 {
+		fmt.Printf("exact: %d blocks searched, %d improved, %d cycles saved\n",
+			st.ExactBlocks, st.ExactImproved, st.ExactCyclesSaved)
+	}
 }
 
 func parseLevel(s string) (gsched.Level, error) {

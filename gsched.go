@@ -22,6 +22,9 @@
 package gsched
 
 import (
+	"context"
+	"io"
+
 	"gsched/internal/asm"
 	"gsched/internal/core"
 	"gsched/internal/ir"
@@ -32,6 +35,7 @@ import (
 	"gsched/internal/profile"
 	"gsched/internal/regalloc"
 	"gsched/internal/sim"
+	"gsched/internal/stream"
 	"gsched/internal/xform"
 )
 
@@ -170,6 +174,33 @@ func Schedule(p *Program, opts Options) (Stats, error) {
 // the basic block pass.
 func SchedulePipeline(p *Program, opts Options, cfg PipelineConfig) (PipelineStats, error) {
 	return xform.RunProgram(p, opts, cfg)
+}
+
+// StreamConfig configures ScheduleStream; StreamResult reports what
+// flowed through it.
+type (
+	StreamConfig = stream.Config
+	StreamResult = stream.Result
+)
+
+// ErrDuplicateFunc is returned by ScheduleStream when the source
+// defines the same function twice; the materializing path (CompileC or
+// ParseAsm plus Schedule) resolves that case with last-definition-wins.
+var ErrDuplicateFunc = stream.ErrDuplicateFunc
+
+// ScheduleStream runs the streaming pipeline: parse lang ("c" or
+// "asm") source one function at a time, schedule functions
+// concurrently (cfg.Jobs workers), and write the scheduled assembly to
+// out (nil discards it) reassembled in source order. The bytes written
+// are identical to parse-everything → Schedule/SchedulePipeline →
+// PrintAsm at any Jobs setting, but peak memory stays proportional to
+// Jobs times the largest function instead of the whole program.
+func ScheduleStream(ctx context.Context, lang, src string, cfg StreamConfig, out io.Writer) (StreamResult, error) {
+	d, err := stream.DialectFor(lang)
+	if err != nil {
+		return StreamResult{}, err
+	}
+	return stream.Schedule(ctx, d, src, cfg, out)
 }
 
 // Run loads the program and executes the named function. data overrides

@@ -17,6 +17,7 @@ package asm
 
 import (
 	"fmt"
+	"io"
 	"strconv"
 	"strings"
 
@@ -36,60 +37,33 @@ type parser struct {
 	f       *ir.Func
 	b       *ir.Block
 	line    int
-	comment string // trailing comment of the current line
+	comment string   // trailing comment of the current line
+	scratch []string // operand-split buffer reused across instructions
 }
 
 func (p *parser) errf(format string, args ...any) error {
 	return &ParseError{Line: p.line, Msg: fmt.Sprintf(format, args...)}
 }
 
-// Parse reads a whole program from src.
+// Parse reads a whole program from src. It drives the streaming Reader
+// (see dialect.go), so whole-program and per-function parsing share one
+// implementation; later definitions of a function replace earlier ones.
 func Parse(src string) (*ir.Program, error) {
-	p := &parser{prog: ir.NewProgram()}
-	for _, raw := range strings.Split(src, "\n") {
-		p.line++
-		line := raw
-		p.comment = ""
-		if i := strings.IndexByte(line, ';'); i >= 0 {
-			p.comment = strings.TrimSpace(line[i+1:])
-			line = line[:i]
+	r, err := NewReader(src)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		f, err := r.ParseFunc()
+		if err == io.EOF {
+			break
 		}
-		line = strings.TrimSpace(line)
-		if line == "" {
-			continue
-		}
-		if err := p.parseLine(line); err != nil {
+		if err != nil {
 			return nil, err
 		}
+		r.Prog().AddFunc(f)
 	}
-	if p.f != nil {
-		p.f.ReindexBlocks()
-	}
-	if err := p.prog.Validate(); err != nil {
-		return nil, fmt.Errorf("asm: %w", err)
-	}
-	return p.prog, nil
-}
-
-func (p *parser) parseLine(line string) error {
-	switch {
-	case strings.HasPrefix(line, "data "):
-		return p.parseData(line)
-	case strings.HasPrefix(line, "func "):
-		return p.parseFunc(line)
-	case strings.HasSuffix(line, ":") && !strings.ContainsAny(line, " \t"):
-		if p.f == nil {
-			return p.errf("label outside a function")
-		}
-		label := strings.TrimSuffix(line, ":")
-		p.b = p.f.NewBlock(label)
-		return nil
-	default:
-		if p.f == nil {
-			return p.errf("instruction outside a function")
-		}
-		return p.parseInstr(line)
-	}
+	return r.Prog(), nil
 }
 
 func (p *parser) parseData(line string) error {
@@ -121,10 +95,10 @@ func (p *parser) parseData(line string) error {
 	return nil
 }
 
-func (p *parser) parseFunc(line string) error {
-	if p.f != nil {
-		p.f.ReindexBlocks()
-	}
+// beginFunc starts a new function from its header line. The caller
+// (Reader.ParseFunc) owns finishing the previous function and deciding
+// where the new one goes.
+func (p *parser) beginFunc(line string) error {
 	rest := strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(line, "func ")), ":")
 	fields := strings.Fields(rest)
 	if len(fields) == 0 {
@@ -147,7 +121,6 @@ func (p *parser) parseFunc(line string) error {
 		p.f.Params = append(p.f.Params, r)
 		p.f.NoteReg(r)
 	}
-	p.prog.AddFunc(p.f)
 	p.b = nil
 	return nil
 }
@@ -245,9 +218,12 @@ func (p *parser) block() *ir.Block {
 }
 
 // splitTop splits s on commas that are not nested inside parentheses,
-// so memory operands like "mem(r3,4)" survive as single tokens.
-func splitTop(s string) []string {
-	var parts []string
+// so memory operands like "mem(r3,4)" survive as single tokens. The
+// result aliases p.scratch and is only valid until the next call; no
+// instruction needs two splits at once, and reusing the buffer keeps
+// parse allocations per-function rather than per-instruction.
+func (p *parser) splitTop(s string) []string {
+	parts := p.scratch[:0]
 	depth, start := 0, 0
 	for k := 0; k < len(s); k++ {
 		switch s[k] {
@@ -263,6 +239,7 @@ func splitTop(s string) []string {
 		}
 	}
 	parts = append(parts, strings.TrimSpace(s[start:]))
+	p.scratch = parts
 	return parts
 }
 
@@ -301,7 +278,7 @@ func (p *parser) parseInstr(line string) error {
 		}
 		return strings.TrimSpace(rest[:k]), strings.TrimSpace(rest[k+1:]), true
 	}
-	comma := splitTop
+	comma := p.splitTop
 
 	switch {
 	case mn == "NOP":
@@ -613,3 +590,22 @@ func (p *parser) parseInstr(line string) error {
 
 // Print renders a program as parseable assembly (Program.String).
 func Print(p *ir.Program) string { return p.String() }
+
+// PrintTo streams the same rendering into w, reusing one buffer per
+// function so printing allocates O(largest function), not O(program).
+func PrintTo(w io.Writer, p *ir.Program) error {
+	var buf []byte
+	for _, s := range p.Syms {
+		buf = s.AppendString(buf[:0])
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	for _, f := range p.Funcs {
+		buf = f.AppendString(buf[:0])
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,6 +1,8 @@
 package asm
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"gsched/internal/minic"
@@ -25,6 +27,22 @@ func FuzzParseAsm(f *testing.F) {
 			f.Fatalf("seed %d: %v", seed, err)
 		}
 		f.Add(Print(prog))
+	}
+	// A Huge-corpus prefix truncated mid-function: the streaming reader
+	// must handle a unit that ends without a terminator or closing
+	// definition as gracefully as the whole-program parser.
+	huge := progen.Huge(2, 300).Source
+	f.Add(huge[:2*len(huge)/3])
+	// One function, many tiny blocks: stresses label handling, block
+	// reindexing, and the per-function (not per-block) scratch reuse.
+	{
+		var sb strings.Builder
+		sb.WriteString("func maze r1:\n")
+		for i := 0; i < 48; i++ {
+			fmt.Fprintf(&sb, "maze.b%d:\n\tAI r2=r1,1\n\tC cr0=r2,r1\n\tBT maze.b%d,cr0,lt\n", i, i+1)
+		}
+		sb.WriteString("maze.b48:\n\tRET r2\n")
+		f.Add(sb.String())
 	}
 	f.Fuzz(func(t *testing.T, src string) {
 		prog, err := Parse(src)

@@ -1,0 +1,48 @@
+package asm
+
+import "strings"
+
+// lineScanner yields the lines of src one at a time without
+// materializing a []string for the whole program (the old front-end's
+// strings.Split allocated 16 bytes per line up front — megabytes on a
+// 100k-instruction program). Lines are substrings of src, so scanning
+// itself is zero-copy; anything retained from a line (labels, branch
+// targets, comments) keeps src alive, which is fine because callers
+// hold the whole source in one string anyway.
+//
+// Segmenting mirrors strings.Split(src, "\n"): a trailing newline
+// yields a final empty line, and an empty src yields one empty line.
+// That keeps line numbers in errors identical to the old parser's.
+type lineScanner struct {
+	src  string
+	pos  int
+	line int // 1-based number of the most recently returned line
+	done bool
+}
+
+// next returns the next line (without its '\n'); ok is false once the
+// source is exhausted.
+func (s *lineScanner) next() (string, bool) {
+	if s.done {
+		return "", false
+	}
+	s.line++
+	rest := s.src[s.pos:]
+	if i := strings.IndexByte(rest, '\n'); i >= 0 {
+		s.pos += i + 1
+		return rest[:i], true
+	}
+	s.done = true
+	return rest, true
+}
+
+// splitComment strips a trailing ';' comment and surrounding space,
+// returning the code part and the trimmed comment text.
+func splitComment(raw string) (line, comment string) {
+	line = raw
+	if i := strings.IndexByte(line, ';'); i >= 0 {
+		comment = strings.TrimSpace(line[i+1:])
+		line = line[:i]
+	}
+	return strings.TrimSpace(line), comment
+}

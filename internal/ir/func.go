@@ -2,7 +2,7 @@ package ir
 
 import (
 	"fmt"
-	"strings"
+	"strconv"
 	"sync/atomic"
 )
 
@@ -159,31 +159,38 @@ func (f *Func) NumInstrs() int {
 
 // String renders the function as assembly text (parseable by package asm).
 func (f *Func) String() string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "func %s", f.Name)
+	return string(f.AppendString(make([]byte, 0, 32+f.NumInstrs()*28)))
+}
+
+// AppendString appends String's rendering to buf and returns it, so
+// streaming printers can reuse one buffer across functions instead of
+// materializing a string per function.
+func (f *Func) AppendString(buf []byte) []byte {
+	buf = append(buf, "func "...)
+	buf = append(buf, f.Name...)
 	for _, p := range f.Params {
-		fmt.Fprintf(&sb, " %s", p)
+		buf = append(buf, ' ')
+		buf = appendReg(buf, p)
 	}
 	if f.FrameWords > 0 {
-		fmt.Fprintf(&sb, " frame=%d", f.FrameWords)
+		buf = append(buf, " frame="...)
+		buf = strconv.AppendInt(buf, f.FrameWords, 10)
 	}
-	sb.WriteString(":\n")
-	var buf []byte
+	buf = append(buf, ":\n"...)
 	for _, b := range f.Blocks {
 		if b.Label != "" {
-			sb.WriteString(b.Label)
-			sb.WriteString(":\n")
+			buf = append(buf, b.Label...)
+			buf = append(buf, ":\n"...)
 		}
 		for _, i := range b.Instrs {
-			sb.WriteString("\t")
-			buf = i.AppendString(buf[:0])
-			sb.Write(buf)
+			buf = append(buf, '\t')
+			buf = i.AppendString(buf)
 			if i.Comment != "" {
-				sb.WriteString("\t; ")
-				sb.WriteString(i.Comment)
+				buf = append(buf, "\t; "...)
+				buf = append(buf, i.Comment...)
 			}
-			sb.WriteString("\n")
+			buf = append(buf, '\n')
 		}
 	}
-	return sb.String()
+	return buf
 }

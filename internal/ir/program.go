@@ -1,9 +1,6 @@
 package ir
 
-import (
-	"fmt"
-	"strings"
-)
+import "strconv"
 
 // WordSize is the size in bytes of a memory word. The paper's example
 // traverses an int array with byte displacements 4 and 8, so words are
@@ -65,21 +62,38 @@ func (p *Program) Sym(name string) *Symbol {
 	return nil
 }
 
-// String renders the whole program as assembly text.
-func (p *Program) String() string {
-	var sb strings.Builder
-	for _, s := range p.Syms {
-		fmt.Fprintf(&sb, "data %s %d", s.Name, s.Words)
-		if len(s.Init) > 0 {
-			sb.WriteString(" =")
-			for _, v := range s.Init {
-				fmt.Fprintf(&sb, " %d", v)
-			}
+// AppendString appends the symbol's data directive, including the
+// trailing newline, to buf and returns it.
+func (s *Symbol) AppendString(buf []byte) []byte {
+	buf = append(buf, "data "...)
+	buf = append(buf, s.Name...)
+	buf = append(buf, ' ')
+	buf = strconv.AppendInt(buf, s.Words, 10)
+	if len(s.Init) > 0 {
+		buf = append(buf, " ="...)
+		for _, v := range s.Init {
+			buf = append(buf, ' ')
+			buf = strconv.AppendInt(buf, v, 10)
 		}
-		sb.WriteString("\n")
+	}
+	return append(buf, '\n')
+}
+
+// String renders the whole program as assembly text. The buffer is
+// sized from the instruction count up front so rendering a large
+// program does not repeatedly regrow (and recopy) multi-megabyte
+// buffers.
+func (p *Program) String() string {
+	n := 0
+	for _, f := range p.Funcs {
+		n += 32 + f.NumInstrs()*28
+	}
+	buf := make([]byte, 0, n+len(p.Syms)*24)
+	for _, s := range p.Syms {
+		buf = s.AppendString(buf)
 	}
 	for _, f := range p.Funcs {
-		sb.WriteString(f.String())
+		buf = f.AppendString(buf)
 	}
-	return sb.String()
+	return string(buf)
 }

@@ -2,29 +2,63 @@ package minic
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"gsched/internal/ir"
 )
 
 // Compile parses and compiles a mini-C source file into an ir program.
+// It drives the streaming Reader (see stream.go), so the whole-program
+// and per-function paths share one implementation.
 func Compile(src string) (*ir.Program, error) {
-	ast, err := ParseSource(src)
+	r, err := Open(src)
 	if err != nil {
 		return nil, err
 	}
-	return Generate(ast)
+	for {
+		f, err := r.ParseFunc()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		r.Prog().AddFunc(f)
+	}
+	return r.Prog(), nil
 }
 
 // Generate lowers a parsed program to ir.
 func Generate(ast *Program) (*ir.Program, error) {
+	g, err := newGen(ast.Globals, ast.Funcs)
+	if err != nil {
+		return nil, err
+	}
+	for _, fn := range ast.Funcs {
+		f, err := g.genFunc(fn)
+		if err != nil {
+			return nil, err
+		}
+		g.out.AddFunc(f)
+	}
+	if err := g.out.Validate(); err != nil {
+		return nil, fmt.Errorf("minic: internal: generated invalid ir: %w", err)
+	}
+	return g.out, nil
+}
+
+// newGen builds the whole-unit symbol tables every function's lowering
+// needs (globals for addressing, function signatures for call arity and
+// void checks — calls may reference functions declared later), and
+// registers the global data symbols on the output program.
+func newGen(globals []*GlobalDecl, funcs []*FuncDecl) (*gen, error) {
 	g := &gen{
-		ast:     ast,
 		out:     ir.NewProgram(),
 		globals: make(map[string]*GlobalDecl),
 		funcs:   make(map[string]*FuncDecl),
 	}
-	for _, gd := range ast.Globals {
+	for _, gd := range globals {
 		if g.globals[gd.Name] != nil {
 			return nil, errAt(gd.Line, 1, "global %q redeclared", gd.Name)
 		}
@@ -36,7 +70,7 @@ func Generate(ast *Program) (*ir.Program, error) {
 		s := g.out.AddSym(gd.Name, words)
 		s.Init = gd.Init
 	}
-	for _, fn := range ast.Funcs {
+	for _, fn := range funcs {
 		if g.funcs[fn.Name] != nil {
 			return nil, errAt(fn.Line, 1, "function %q redeclared", fn.Name)
 		}
@@ -45,15 +79,7 @@ func Generate(ast *Program) (*ir.Program, error) {
 		}
 		g.funcs[fn.Name] = fn
 	}
-	for _, fn := range ast.Funcs {
-		if err := g.genFunc(fn); err != nil {
-			return nil, err
-		}
-	}
-	if err := g.out.Validate(); err != nil {
-		return nil, fmt.Errorf("minic: internal: generated invalid ir: %w", err)
-	}
-	return g.out, nil
+	return g, nil
 }
 
 type loopCtx struct {
@@ -62,7 +88,6 @@ type loopCtx struct {
 }
 
 type gen struct {
-	ast     *Program
 	out     *ir.Program
 	globals map[string]*GlobalDecl
 	funcs   map[string]*FuncDecl
@@ -170,7 +195,12 @@ func (g *gen) lookup(name string) (ir.Reg, bool) {
 	return ir.NoReg, false
 }
 
-func (g *gen) genFunc(fn *FuncDecl) error {
+// genFunc lowers one function; the caller decides where the result
+// goes (Generate appends it to the output program, the streaming
+// Reader hands it to its consumer). Label numbering (g.labelN)
+// continues across calls, so lowering functions one at a time yields
+// the same bytes as lowering them all.
+func (g *gen) genFunc(fn *FuncDecl) (*ir.Func, error) {
 	g.fn = fn
 	g.f = ir.NewFunc(fn.Name)
 	g.b = ir.NewBuilder(g.f)
@@ -181,7 +211,7 @@ func (g *gen) genFunc(fn *FuncDecl) error {
 	for _, p := range fn.Params {
 		r, err := g.declare(p, ir.ClassGPR, fn.Line)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		g.f.Params = append(g.f.Params, r)
 	}
@@ -189,7 +219,7 @@ func (g *gen) genFunc(fn *FuncDecl) error {
 	// redeclaring a parameter is rejected (as in C).
 	for _, s := range fn.Body.Stmts {
 		if err := g.genStmt(s); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	// Fall-off-the-end return.
@@ -214,8 +244,7 @@ func (g *gen) genFunc(fn *FuncDecl) error {
 	g.f.Blocks = kept
 	g.f.ReindexBlocks()
 	g.popScope()
-	g.out.AddFunc(g.f)
-	return nil
+	return g.f, nil
 }
 
 func (g *gen) genBlockStmt(b *BlockStmt) error {

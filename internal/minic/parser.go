@@ -149,28 +149,7 @@ func (p *parserState) parseSignedNumber() (int64, error) {
 
 func (p *parserState) parseFuncRest(name string, isVoid bool, line int) (*FuncDecl, error) {
 	fn := &FuncDecl{Name: name, Void: isVoid, Line: line}
-	if _, err := p.expect(LParen); err != nil {
-		return nil, err
-	}
-	if p.at(KwVoid) && p.toks[p.pos+1].Kind == RParen {
-		p.next()
-	}
-	for !p.at(RParen) {
-		if _, err := p.expect(KwInt); err != nil {
-			return nil, err
-		}
-		id, err := p.expect(IDENT)
-		if err != nil {
-			return nil, err
-		}
-		fn.Params = append(fn.Params, id.Text)
-		if p.at(Comma) {
-			p.next()
-			continue
-		}
-		break
-	}
-	if _, err := p.expect(RParen); err != nil {
+	if err := p.parseFuncSig(fn); err != nil {
 		return nil, err
 	}
 	body, err := p.parseBlock()
@@ -179,6 +158,56 @@ func (p *parserState) parseFuncRest(name string, isVoid bool, line int) (*FuncDe
 	}
 	fn.Body = body
 	return fn, nil
+}
+
+// parseFuncSig parses the parameter list "(...)" into fn, stopping
+// before the body so the streaming scan can skip it.
+func (p *parserState) parseFuncSig(fn *FuncDecl) error {
+	if _, err := p.expect(LParen); err != nil {
+		return err
+	}
+	if p.at(KwVoid) && p.toks[p.pos+1].Kind == RParen {
+		p.next()
+	}
+	for !p.at(RParen) {
+		if _, err := p.expect(KwInt); err != nil {
+			return err
+		}
+		id, err := p.expect(IDENT)
+		if err != nil {
+			return err
+		}
+		fn.Params = append(fn.Params, id.Text)
+		if p.at(Comma) {
+			p.next()
+			continue
+		}
+		break
+	}
+	_, err := p.expect(RParen)
+	return err
+}
+
+// skipBlock advances past a balanced-brace block without parsing it,
+// returning the token index of its opening brace.
+func (p *parserState) skipBlock() (int, error) {
+	start := p.pos
+	if _, err := p.expect(LBrace); err != nil {
+		return 0, err
+	}
+	depth := 1
+	for depth > 0 {
+		t := p.next()
+		switch t.Kind {
+		case LBrace:
+			depth++
+		case RBrace:
+			depth--
+		case EOF:
+			return 0, errAt(t.Line, t.Col, "unexpected end of file inside block")
+		}
+	}
+	return start, nil
 }
 
 func (p *parserState) parseBlock() (*BlockStmt, error) {

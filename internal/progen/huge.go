@@ -1,0 +1,150 @@
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// HugeProgram is a generated large assembly program. Unlike Program
+// (mini-C, built to be run), Huge programs exist to exercise the tool
+// chain at scale — parsing, scheduling, and printing hundreds of
+// thousands of instructions — so they are valid, schedulable assembly
+// with realistic control flow (diamonds, counted loops, calls, float
+// sections) but are never simulated.
+type HugeProgram struct {
+	Source string
+	Funcs  int
+	Instrs int // instructions emitted (excludes labels and directives)
+	Seed   int64
+}
+
+// Huge returns a deterministic assembly program of at least
+// targetInstrs instructions spread over many small functions (roughly
+// 30–50 instructions each, so ≥100k instructions means thousands of
+// functions). The same seed and target always produce identical bytes.
+func Huge(seed int64, targetInstrs int) *HugeProgram {
+	if targetInstrs < 1 {
+		targetInstrs = 1
+	}
+	r := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	sb.Grow(targetInstrs*20 + 256)
+	arrays := []string{"ha", "hb", "hc", "hd"}
+	for i, a := range arrays {
+		fmt.Fprintf(&sb, "data %s %d", a, 256)
+		if i == 0 {
+			sb.WriteString(" = 3 1 4 1 5 9 2 6")
+		}
+		sb.WriteByte('\n')
+	}
+	p := &HugeProgram{Seed: seed}
+	for p.Instrs < targetInstrs {
+		p.Instrs += emitHugeFunc(&sb, r, p.Funcs, arrays)
+		p.Funcs++
+	}
+	p.Source = sb.String()
+	return p
+}
+
+// emitHugeFunc writes one function and returns its instruction count.
+// The shape is fixed — straight-line prologue, a compare/branch
+// diamond, a counted loop, an optional float section, an optional call
+// to an earlier function — with sizes, opcodes, and operands drawn
+// from r. Structured control flow only, so every CFG is reducible and
+// every region is schedulable at any level.
+func emitHugeFunc(sb *strings.Builder, r *rand.Rand, idx int, arrays []string) int {
+	name := fmt.Sprintf("F%d", idx)
+	n := 0
+	ins := func(format string, args ...any) {
+		sb.WriteByte('\t')
+		fmt.Fprintf(sb, format, args...)
+		sb.WriteByte('\n')
+		n++
+	}
+	label := func(l string) {
+		sb.WriteString(name)
+		sb.WriteByte('.')
+		sb.WriteString(l)
+		sb.WriteString(":\n")
+	}
+	arr := func() string { return arrays[r.Intn(len(arrays))] }
+	ops := []string{"A", "S", "MUL", "AND", "OR", "XOR"}
+
+	fmt.Fprintf(sb, "func %s r1 r2:\n", name)
+
+	// Straight-line prologue: enough independent arithmetic that the
+	// local scheduler has real freedom.
+	ins("LI r3=%d", 1+r.Intn(100))
+	ins("A r4=r1,r2")
+	reg := 5 // next free GPR; sources come from r1..r(reg-1)
+	src := func() int { return 1 + r.Intn(reg-1) }
+	for j, k := 0, 4+r.Intn(5); j < k; j++ {
+		switch r.Intn(4) {
+		case 0:
+			ins("AI r%d=r%d,%d", reg, src(), r.Intn(64)-16)
+		case 1:
+			ins("L r%d=%s(r%d,%d)", reg, arr(), src(), 4*r.Intn(32))
+		default:
+			ins("%s r%d=r%d,r%d", ops[r.Intn(len(ops))], reg, src(), src())
+		}
+		reg++
+	}
+
+	// Diamond: BF to the else arm, fallthrough then-arm jumps to join.
+	bits := []string{"lt", "gt", "eq"}
+	ins("C cr0=r%d,r%d", src(), src())
+	ins("BF %s.else,cr0,%s", name, bits[r.Intn(len(bits))])
+	for j, k := 0, 2+r.Intn(3); j < k; j++ {
+		ins("%s r%d=r%d,r%d", ops[r.Intn(len(ops))], reg, src(), src())
+		reg++
+	}
+	ins("B %s.join", name)
+	label("else")
+	for j, k := 0, 2+r.Intn(3); j < k; j++ {
+		ins("AI r%d=r%d,%d", reg, src(), 1+r.Intn(9))
+		reg++
+	}
+	label("join")
+
+	// Counted loop with a load, a store, and a decrement-test back edge.
+	cnt := reg
+	reg++
+	ins("LI r%d=%d", cnt, 3+r.Intn(60))
+	label("loop")
+	ins("L r%d=%s(r%d,%d)", reg, arr(), cnt, 4*r.Intn(16))
+	body := reg
+	reg++
+	for j, k := 0, 1+r.Intn(3); j < k; j++ {
+		ins("%s r%d=r%d,r%d", ops[r.Intn(len(ops))], reg, body, src())
+		reg++
+	}
+	ins("ST %s(r%d,%d)=r%d", arr(), cnt, 4*r.Intn(16), reg-1)
+	ins("AI r%d=r%d,-1", cnt, cnt)
+	ins("CI cr1=r%d,0", cnt)
+	ins("BT %s.loop,cr1,gt", name)
+
+	// Optional float section: conversions, arithmetic, compare, truncate.
+	if r.Intn(2) == 0 {
+		ins("FCVT f0=r%d", src())
+		ins("FCVT f1=r%d", src())
+		ins("FA f2=f0,f1")
+		ins("FM f3=f2,f2")
+		ins("FS f4=f3,f1")
+		ins("FC cr2=f3,f4")
+		ins("FTRUNC r%d=f4", reg)
+		reg++
+	}
+
+	// Optional call to an earlier function (the call graph stays
+	// acyclic) or to the print builtin.
+	if idx > 0 && r.Intn(3) == 0 {
+		ins("CALL r%d=F%d,r1,r%d", reg, r.Intn(idx), src())
+		reg++
+	} else if r.Intn(4) == 0 {
+		ins("CALL print,r%d", src())
+	}
+
+	ins("RET r%d", reg-1)
+	return n
+}

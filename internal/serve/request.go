@@ -214,6 +214,10 @@ func resolve(req *Request, allowPanic bool) (*job, error) {
 	if lang == "" {
 		lang = "c"
 	}
+	// Both entry points drive the streaming per-function readers under
+	// the hood (parse allocations stay proportional to the largest
+	// function); the program is materialized because canonicalization,
+	// caching and simulation all need the whole unit.
 	var err error
 	switch lang {
 	case "c":

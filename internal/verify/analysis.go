@@ -437,13 +437,20 @@ func (an *analysis) computeLoops() {
 			headers[v] = map[int]bool{}
 		}
 		headers[v][v] = true
-		// Blocks reaching u without passing v belong to the loop.
-		stack := []int{u}
-		inLoop := map[int]bool{v: true, u: true}
-		if headers[u] == nil {
-			headers[u] = map[int]bool{}
+		// Blocks reaching u without passing v belong to the loop. The
+		// header is never walked: for a self back edge (u == v) the loop
+		// is exactly {v}, and walking v's predecessors would flood
+		// everything upstream of the loop into it.
+		inLoop := map[int]bool{v: true}
+		var stack []int
+		if !inLoop[u] {
+			inLoop[u] = true
+			if headers[u] == nil {
+				headers[u] = map[int]bool{}
+			}
+			headers[u][v] = true
+			stack = append(stack, u)
 		}
-		headers[u][v] = true
 		for len(stack) > 0 {
 			x := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
